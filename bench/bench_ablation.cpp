@@ -1,0 +1,95 @@
+// ABL — ablation of the protocol's design constants (why 95 and 5?).
+//
+//   * time_multiplier (paper: 95, from Corollary 3.7's 65 ln n <= 94 log n):
+//     the epoch must outlast generate+propagate of the epoch maximum.  Too
+//     small → epochs end before the max-gr epidemic completes → deposits mix
+//     unpropagated values → accuracy degrades; larger → slower, no accuracy
+//     gain.
+//   * epoch_multiplier (paper: 5, from Corollary D.10's K >= 4 log N): the
+//     number of averaged maxima controls the Chernoff concentration.  K too
+//     small → variance of the average blows past the additive-error budget.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/log_size_estimation.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+struct Row {
+  double mean_err = 0.0;
+  double max_err = 0.0;
+  double frac_within_2 = 0.0;
+  double mean_time = 0.0;
+};
+
+Row sweep(pops::LogSizeEstimation::Params params, std::uint64_t n, std::uint64_t trials,
+          std::uint64_t salt) {
+  const double logn = std::log2(static_cast<double>(n));
+  pops::Summary err, time;
+  std::uint64_t within = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    pops::AgentSimulation<pops::LogSizeEstimation> sim(pops::LogSizeEstimation{params}, n,
+                                                       pops::trial_seed(salt, t));
+    const double tt = sim.run_until(
+        [](const pops::AgentSimulation<pops::LogSizeEstimation>& s) {
+          return pops::converged(s);
+        },
+        25.0, 5e7);
+    if (tt < 0.0) continue;
+    const double e = std::abs(static_cast<double>(pops::estimate(sim)) - logn);
+    err.add(e);
+    time.add(tt);
+    within += e <= 2.0 ? 1 : 0;
+  }
+  return Row{err.mean(), err.max(),
+             static_cast<double>(within) / static_cast<double>(trials), time.mean()};
+}
+
+}  // namespace
+
+int main() {
+  using pops::Table;
+  pops::banner("ABL: ablating the protocol constants (time x95, epochs x5) at n = 2048");
+  const std::uint64_t n = pops::by_scale<std::uint64_t>(512, 2048, 8192);
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(3, 8, 20);
+
+  Table tm({"time_multiplier", "mean_|err|", "max_|err|", "frac_within_2", "mean_time"});
+  for (std::uint32_t mult : {5u, 10u, 20u, 40u, 95u, 190u}) {
+    pops::LogSizeEstimation::Params p;
+    p.time_multiplier = mult;
+    const auto r = sweep(p, n, trials, 0xAB1 + mult);
+    tm.row({Table::num(static_cast<std::uint64_t>(mult)), Table::num(r.mean_err, 2),
+            Table::num(r.max_err, 2), Table::num(r.frac_within_2, 2),
+            Table::num(r.mean_time, 0)});
+  }
+  std::cout << "\nepoch-length multiplier (paper value 95; threshold = mult * logSize2):\n";
+  tm.print();
+
+  Table em({"epoch_multiplier", "K~mult*logSize2", "mean_|err|", "max_|err|",
+            "frac_within_2", "mean_time"});
+  for (std::uint32_t mult : {1u, 2u, 3u, 5u, 10u}) {
+    pops::LogSizeEstimation::Params p;
+    p.epoch_multiplier = mult;
+    const auto r = sweep(p, n, trials, 0xAB2 + mult);
+    em.row({Table::num(static_cast<std::uint64_t>(mult)),
+            Table::num(static_cast<std::uint64_t>(mult) * 15), Table::num(r.mean_err, 2),
+            Table::num(r.max_err, 2), Table::num(r.frac_within_2, 2),
+            Table::num(r.mean_time, 0)});
+  }
+  std::cout << "\nnumber-of-epochs multiplier (paper value 5; K = mult * logSize2):\n";
+  em.print();
+
+  std::cout << "\nexpected: accuracy roughly flat down to time_multiplier ~ 40 then\n"
+            << "degrading as epochs end before the max-gr epidemic completes; error\n"
+            << "variance shrinking as epoch_multiplier grows (Chernoff over K maxima),\n"
+            << "with time growing linearly in both multipliers — the paper's 95/5 buys\n"
+            << "whp guarantees at ~6x the runtime of the cheapest accurate setting.\n";
+  return 0;
+}

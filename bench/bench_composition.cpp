@@ -1,0 +1,80 @@
+// COMP — the composition scheme of §1.1 in action: uniformized leader
+// election and uniformized exact majority, built from the weak size estimate
+// + leaderless stage clock + restart.  Reports success rates and times.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/uniform_leader_election.hpp"
+#include "core/uniform_majority.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using pops::Table;
+  pops::banner("COMP: composing downstream protocols with the size estimate (paper sec 1.1)");
+
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(4, 12, 40);
+  const std::vector<std::uint64_t> sizes = pops::bench_scale() == 0
+                                               ? std::vector<std::uint64_t>{256}
+                                               : std::vector<std::uint64_t>{256, 1024, 4096};
+
+  Table le({"n", "trials", "success(1 leader)", "mean_time", "time/log^2"});
+  for (const auto n : sizes) {
+    std::uint64_t wins = 0;
+    pops::Summary time;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      auto proto = pops::make_uniform_leader_election();
+      pops::AgentSimulation<pops::UniformLeaderElection> sim(
+          proto, n, pops::trial_seed(0xC01, n + t));
+      const double tt = sim.run_until(
+          [](const pops::AgentSimulation<pops::UniformLeaderElection>& s) {
+            return pops::clock_finished(s);
+          },
+          25.0, 1e7);
+      if (tt < 0.0) continue;
+      sim.advance_time(100.0);  // final best-propagation sweep
+      time.add(tt);
+      wins += pops::count_contenders(sim) == 1 ? 1 : 0;
+    }
+    const double logn = std::log2(static_cast<double>(n));
+    le.row({Table::num(n), Table::num(trials),
+            Table::num(static_cast<double>(wins) / static_cast<double>(trials), 3),
+            Table::num(time.mean(), 0), Table::num(time.mean() / (logn * logn), 1)});
+  }
+  std::cout << "\nuniform leader election (random-bit tournament over K(s) stages):\n";
+  le.print();
+
+  Table mj({"n", "majority%", "trials", "success(all output majority)"});
+  for (const auto n : sizes) {
+    for (int pct : {55, 60, 70}) {
+      std::uint64_t wins = 0;
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        auto proto = pops::make_uniform_majority();
+        pops::AgentSimulation<pops::UniformMajority> sim(proto, n,
+                                                         pops::trial_seed(0xC02, n * pct + t));
+        pops::assign_votes(sim, n * static_cast<std::uint64_t>(pct) / 100);
+        const double tt = sim.run_until(
+            [](const pops::AgentSimulation<pops::UniformMajority>& s) {
+              return pops::clock_finished(s);
+            },
+            25.0, 1e7);
+        if (tt < 0.0) continue;
+        sim.advance_time(200.0);
+        wins += pops::output_agreement(sim, +1) == 1.0 ? 1 : 0;
+      }
+      mj.row({Table::num(n), Table::num(static_cast<std::int64_t>(pct)), Table::num(trials),
+              Table::num(static_cast<double>(wins) / static_cast<double>(trials), 3)});
+    }
+  }
+  std::cout << "\nuniform majority (cancellation/doubling synchronized by the clock):\n";
+  mj.print();
+  std::cout << "\nexpected: leader election success ~1.0 with time/log^2 flat (it is the\n"
+            << "same O(log^2 n) budget as the estimator); majority success ~1.0 for\n"
+            << "constant-fraction gaps, improving with the gap.\n";
+  return 0;
+}

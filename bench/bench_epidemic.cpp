@@ -1,0 +1,85 @@
+// EPI — epidemic completion times vs the paper's bounds (Lemma A.1,
+// Corollaries 3.4/3.5): E[T] = ((n−1)/n) H_{n−1} ≈ ln n; upper tail
+// Pr[T > 24 ln n] < 4 n^{−5}; subpopulation (a = n/3) epidemics complete
+// within 24 ln a w.p. >= 1 − 27 n^{−3} and are a constant factor slower.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "proto/epidemic.hpp"
+#include "sim/count_simulation.hpp"
+#include "stats/bounds.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+double full_epidemic_time(std::uint64_t n, std::uint64_t seed) {
+  pops::CountSimulation sim(pops::epidemic_spec(), seed);
+  sim.set_count("S", n - 1);
+  sim.set_count("I", 1);
+  return sim.run_until([](const pops::CountSimulation& s) { return s.count("S") == 0; },
+                       0.25, 1e7);
+}
+
+double subpopulation_epidemic_time(std::uint64_t n, std::uint64_t seed) {
+  const std::uint64_t active = n / 3;
+  pops::CountSimulation sim(pops::subpopulation_epidemic_spec(), seed);
+  sim.set_count("S", active - 1);
+  sim.set_count("I", 1);
+  sim.set_count("B", n - active);
+  return sim.run_until([](const pops::CountSimulation& s) { return s.count("S") == 0; },
+                       0.25, 1e7);
+}
+
+}  // namespace
+
+int main() {
+  using pops::Table;
+  pops::banner("EPI: epidemic completion time vs Lemma A.1 / Corollaries 3.4-3.5");
+
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(10, 40, 100);
+  const std::vector<std::uint64_t> sizes = pops::bench_scale() == 0
+                                               ? std::vector<std::uint64_t>{1000, 10000}
+                                               : std::vector<std::uint64_t>{1000, 10000,
+                                                                            100000, 1000000};
+
+  Table full({"n", "mean_T", "E[T]_lemmaA1", "max_T", "24*ln(n)", "tail_viol"});
+  for (const auto n : sizes) {
+    pops::Summary s;
+    std::uint64_t violations = 0;
+    const double cap = 24.0 * std::log(static_cast<double>(n));
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const double v = full_epidemic_time(n, pops::trial_seed(0xE21, n + t));
+      s.add(v);
+      violations += v > cap ? 1 : 0;
+    }
+    full.row({Table::num(n), Table::num(s.mean(), 2),
+              Table::num(pops::bounds::epidemic_expected_time(n), 2),
+              Table::num(s.max(), 2), Table::num(cap, 1), Table::num(violations)});
+  }
+  std::cout << "\nfull-population epidemic (i,j -> j,j):\n";
+  full.print();
+
+  Table sub({"n", "a=n/3", "mean_T", "max_T", "24*ln(a)", "mean_slowdown_vs_full"});
+  for (const auto n : sizes) {
+    if (n > 100000) continue;  // subpopulation runs are ~9x slower
+    pops::Summary s, f;
+    const std::uint64_t a = n / 3;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      s.add(subpopulation_epidemic_time(n, pops::trial_seed(0xE22, n + t)));
+      f.add(full_epidemic_time(n, pops::trial_seed(0xE23, n + t)));
+    }
+    sub.row({Table::num(n), Table::num(a), Table::num(s.mean(), 2), Table::num(s.max(), 2),
+             Table::num(24.0 * std::log(static_cast<double>(a)), 1),
+             Table::num(s.mean() / f.mean(), 2)});
+  }
+  std::cout << "\nsubpopulation epidemic among a = n/3 agents (Corollary 3.4 setting):\n";
+  sub.print();
+  std::cout << "\nexpected: mean_T tracks E[T] ~ ln n; no tail violations; subpopulation\n"
+            << "slowdown a constant factor (theory: ~n^2/a^2 / (n/a) interactions ratio).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// FIG2 — reproduces Figure 2 of the paper: simulated convergence time of
+// Log-Size-Estimation vs population size.
+//
+// Paper setup: 10 experiments at each n ∈ {10^2, 10^3, 10^4, 10^5}; the
+// population-size axis is logarithmic, so O(c log² n) time is a parabola-ish
+// line; convergence is defined as (a) every agent reaching
+// epoch = 5·logSize2 and (b) the estimate landing within 2 of log n (the
+// paper observes the estimate is "always within 2" in practice).
+//
+// Paper values (read off Figure 2): convergence times rise from ~10^3-ish at
+// n = 100 to ~5·10^4–3.5·10^5 at n = 10^5, with large spread driven by the
+// sampled logSize2 (time ∝ logSize2², and logSize2 varies by 2x).
+//
+// POPS_BENCH_SCALE=2 adds the paper's n = 10^5 point (~15 min/trial on one
+// core); the default stops at 10^4.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/log_size_estimation.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+struct TrialResult {
+  double time = -1.0;
+  double error = 0.0;
+  bool within_two = false;
+};
+
+TrialResult one_trial(std::uint64_t n, std::uint64_t seed) {
+  using pops::LogSizeEstimation;
+  pops::AgentSimulation<LogSizeEstimation> sim(LogSizeEstimation{}, n, seed);
+  TrialResult r;
+  r.time = sim.run_until(
+      [](const pops::AgentSimulation<LogSizeEstimation>& s) { return pops::converged(s); },
+      50.0, 5e7);
+  if (r.time < 0.0) return r;
+  const double logn = std::log2(static_cast<double>(n));
+  r.error = std::abs(static_cast<double>(pops::estimate(sim)) - logn);
+  r.within_two = r.error <= 2.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using pops::Table;
+  pops::banner("FIG2: Log-Size-Estimation convergence time vs population size (paper Fig. 2)");
+  std::cout << "convergence = all agents reach epoch = 5*logSize2 and agree on the output;\n"
+            << "paper shape: time grows ~ log^2 n with wide spread (time ~ logSize2^2,\n"
+            << "and the sampled logSize2 varies by a factor of ~2 between runs).\n";
+
+  struct Point {
+    std::uint64_t n;
+    std::uint64_t trials;
+  };
+  std::vector<Point> points;
+  switch (pops::bench_scale()) {
+    case 0:
+      points = {{100, 3}, {316, 3}, {1000, 2}};
+      break;
+    case 2:
+      points = {{100, 10}, {316, 10}, {1000, 10}, {3162, 10}, {10000, 10}, {31623, 3},
+                {100000, 2}};
+      break;
+    default:
+      points = {{100, 10}, {316, 10}, {1000, 10}, {3162, 5}, {10000, 3}};
+  }
+
+  Table per_trial({"n", "trial", "parallel_time", "abs_error", "within_2"});
+  Table summary({"n", "trials", "mean_time", "min_time", "max_time", "time/log2(n)^2",
+                 "frac_within_2"});
+
+  for (const auto& p : points) {
+    pops::Summary times;
+    std::uint64_t within = 0;
+    for (std::uint64_t t = 0; t < p.trials; ++t) {
+      const auto r = one_trial(p.n, pops::trial_seed(0xF162, p.n * 1000 + t));
+      if (r.time < 0.0) {
+        per_trial.row({Table::num(p.n), Table::num(t), "timeout", "-", "-"});
+        continue;
+      }
+      times.add(r.time);
+      within += r.within_two ? 1 : 0;
+      per_trial.row({Table::num(p.n), Table::num(t), Table::num(r.time, 0),
+                     Table::num(r.error, 2), r.within_two ? "yes" : "no"});
+    }
+    const double logn = std::log2(static_cast<double>(p.n));
+    summary.row({Table::num(p.n), Table::num(p.trials), Table::num(times.mean(), 0),
+                 Table::num(times.min(), 0), Table::num(times.max(), 0),
+                 Table::num(times.mean() / (logn * logn), 1),
+                 Table::num(static_cast<double>(within) / static_cast<double>(p.trials), 2)});
+  }
+
+  std::cout << "\nper-trial scatter (the dots of Figure 2):\n";
+  per_trial.print();
+  std::cout << "\nsummary per population size:\n";
+  summary.print();
+  std::cout << "\nexpected shape: time/log2(n)^2 roughly flat (O(log^2 n) claim of Thm 3.1);\n"
+            << "frac_within_2 ~ 1.0 (the paper's 'in practice always within 2').\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// LEAD — Theorem 3.13: terminating size estimation with one initial leader.
+// Measures: when the estimation converged vs when the leader's phase-clock
+// timer fired, the premature-termination rate (should be ~0), accuracy at
+// termination, and the spread time of the terminated signal.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/leader_terminating_estimation.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using pops::Table;
+  using Sim = pops::AgentSimulation<pops::LeaderTerminatingEstimation>;
+  pops::banner("LEAD: Theorem 3.13 — terminating size estimation with an initial leader");
+
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(2, 4, 10);
+  const std::vector<std::uint64_t> sizes = pops::bench_scale() == 0
+                                               ? std::vector<std::uint64_t>{128}
+                                               : std::vector<std::uint64_t>{128, 512, 1024};
+
+  Table table({"n", "conv_time", "signal_time", "signal/conv", "all_term_time", "premature",
+               "|err|_at_term"});
+  for (const auto n : sizes) {
+    pops::Summary conv, signal, all_term, err;
+    std::uint64_t premature = 0;
+    const double logn = std::log2(static_cast<double>(n));
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      pops::LeaderTerminatingEstimation proto;
+      Sim sim(proto, n, pops::trial_seed(0x1EAD, n + t));
+      pops::Rng rng(pops::trial_seed(0x1EAE, n + t));
+      sim.set_state(0, proto.make_leader(rng));
+
+      double conv_at = -1.0;
+      double signal_at = -1.0;
+      while (sim.time() < 1e8) {
+        if (conv_at < 0.0) {
+          bool done = true;
+          for (const auto& a : sim.agents()) {
+            if (!a.est.protocol_done) {
+              done = false;
+              break;
+            }
+          }
+          if (done) conv_at = sim.time();
+        }
+        if (pops::any_terminated(sim)) {
+          signal_at = sim.time();
+          break;
+        }
+        sim.advance_time(50.0);
+      }
+      if (signal_at < 0.0) continue;
+      signal.add(signal_at);
+      if (conv_at < 0.0) {
+        ++premature;  // signal before estimation finished
+        conv_at = signal_at;
+      }
+      conv.add(conv_at);
+      const double t_all = sim.run_until(
+          [](const Sim& s) { return pops::all_terminated(s); }, 5.0, 1e8);
+      if (t_all >= 0.0) all_term.add(t_all);
+      pops::Summary e;
+      for (const auto& a : sim.agents()) {
+        if (a.est.has_output) e.add(std::abs(static_cast<double>(a.est.output) - logn));
+      }
+      err.add(e.mean());
+    }
+    table.row({Table::num(n), Table::num(conv.mean(), 0), Table::num(signal.mean(), 0),
+               Table::num(signal.mean() / conv.mean(), 2), Table::num(all_term.mean(), 0),
+               Table::num(premature), Table::num(err.mean(), 2)});
+  }
+  table.print();
+  std::cout << "\nexpected: signal_time a small multiple of conv_time (the phase budget\n"
+            << "k2*5*logSize2 is calibrated to land past convergence w.h.p.); premature = 0;\n"
+            << "error at termination within the Theorem 3.1 band; all_term ~ signal +\n"
+            << "O(log n) (epidemic).  Both times scale ~log^2 n — same asymptotics as the\n"
+            << "non-terminating protocol, as Theorem 3.13 claims.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// MICRO — google-benchmark microbenchmarks for the simulation substrate:
+// RNG, geometric sampling, pair sampling, Fenwick sampler, and
+// interactions/second of the three main simulators.
+#include <benchmark/benchmark.h>
+
+#include "core/log_size_estimation.hpp"
+#include "proto/epidemic.hpp"
+#include "sim/agent_simulation.hpp"
+#include "sim/count_simulation.hpp"
+#include "sim/rng.hpp"
+#include "sim/weighted_sampler.hpp"
+#include "stats/geometric.hpp"
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  pops::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  pops::Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(100003));
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_GeometricFair(benchmark::State& state) {
+  pops::Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.geometric_fair());
+}
+BENCHMARK(BM_GeometricFair);
+
+void BM_OrderedPair(benchmark::State& state) {
+  pops::Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.ordered_pair(100000));
+}
+BENCHMARK(BM_OrderedPair);
+
+void BM_MaxGeometricExact(benchmark::State& state) {
+  pops::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pops::max_geometric_exact(static_cast<std::uint64_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_MaxGeometricExact)->Arg(1000)->Arg(1000000);
+
+void BM_WeightedSampler(benchmark::State& state) {
+  pops::WeightedSampler ws(64);
+  pops::Rng rng(6);
+  for (std::size_t i = 0; i < 64; ++i) ws.add(i, 100);
+  for (auto _ : state) {
+    const auto i = ws.sample(rng);
+    ws.add(i, -1);
+    ws.add(i, +1);
+  }
+}
+BENCHMARK(BM_WeightedSampler);
+
+void BM_ValueEpidemicInteractions(benchmark::State& state) {
+  pops::AgentSimulation<pops::ValueEpidemic> sim(pops::ValueEpidemic{},
+                                                 static_cast<std::uint64_t>(state.range(0)),
+                                                 7);
+  for (auto _ : state) sim.steps(1024);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.interactions()));
+}
+BENCHMARK(BM_ValueEpidemicInteractions)->Arg(1000)->Arg(100000);
+
+void BM_LogSizeEstimationInteractions(benchmark::State& state) {
+  pops::AgentSimulation<pops::LogSizeEstimation> sim(
+      pops::LogSizeEstimation{}, static_cast<std::uint64_t>(state.range(0)), 8);
+  for (auto _ : state) sim.steps(1024);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.interactions()));
+}
+BENCHMARK(BM_LogSizeEstimationInteractions)->Arg(1000)->Arg(100000);
+
+void BM_CountSimulationInteractions(benchmark::State& state) {
+  pops::CountSimulation sim(pops::epidemic_spec(), 9);
+  sim.set_count("S", static_cast<std::uint64_t>(state.range(0)) - 1);
+  sim.set_count("I", 1);
+  for (auto _ : state) sim.steps(1024);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.interactions()));
+}
+BENCHMARK(BM_CountSimulationInteractions)->Arg(1000000);
+
+}  // namespace

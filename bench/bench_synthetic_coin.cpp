@@ -1,0 +1,80 @@
+// SYNC — Appendix B: size estimation with a deterministic transition function
+// (synthetic coins from the scheduler's sender/receiver choice) vs the
+// randomized main protocol: time, accuracy, agreement spread, and the
+// O(log^6 n) vs O(log^4 n) state cost (Lemma B.5 vs Lemma 3.9).
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/log_size_estimation.hpp"
+#include "core/synthetic_coin_estimation.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "sim/metrics.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using pops::Table;
+  pops::banner("SYNC: Appendix B deterministic (synthetic-coin) variant vs main protocol");
+
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(2, 5, 10);
+  const std::vector<std::uint64_t> sizes = pops::bench_scale() == 0
+                                               ? std::vector<std::uint64_t>{256}
+                                               : std::vector<std::uint64_t>{256, 1024, 4096};
+
+  Table table({"n", "variant", "mean_time", "mean_|err|", "output_spread", "states_bound"});
+  for (const auto n : sizes) {
+    const double logn = std::log2(static_cast<double>(n));
+
+    {  // main randomized protocol
+      pops::Summary time, err, states;
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        pops::AgentSimulation<pops::LogSizeEstimation> sim(
+            pops::LogSizeEstimation{}, n, pops::trial_seed(0x5C1, n + t));
+        pops::FieldRangeRecorder rec;
+        while (!pops::converged(sim) && sim.time() < 5e7) {
+          sim.advance_time(100.0);
+          pops::record_field_ranges(sim, rec);
+        }
+        time.add(sim.time());
+        err.add(std::abs(static_cast<double>(pops::estimate(sim)) - logn));
+        states.add(rec.state_count_bound());
+      }
+      table.row({Table::num(n), "main (random bits)", Table::num(time.mean(), 0),
+                 Table::num(err.mean(), 2), "0 (exact agreement)",
+                 Table::num(states.mean(), 0)});
+    }
+
+    {  // Appendix B variant
+      pops::Summary time, err, spread, states;
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        pops::AgentSimulation<pops::SyntheticCoinEstimation> sim(
+            pops::SyntheticCoinEstimation{}, n, pops::trial_seed(0x5C2, n + t));
+        pops::FieldRangeRecorder rec;
+        while (!pops::converged(sim) && sim.time() < 5e7) {
+          sim.advance_time(100.0);
+          pops::record_field_ranges(sim, rec);
+        }
+        time.add(sim.time());
+        const auto outs = pops::outputs(sim);
+        pops::Summary o;
+        for (auto v : outs) o.add(static_cast<double>(v));
+        err.add(std::abs(o.mean() - logn));
+        spread.add(o.max() - o.min());
+        states.add(rec.state_count_bound());
+      }
+      table.row({Table::num(n), "synthetic coin (App. B)", Table::num(time.mean(), 0),
+                 Table::num(err.mean(), 2), Table::num(spread.mean(), 1),
+                 Table::num(states.mean(), 0)});
+    }
+  }
+  table.print();
+  std::cout << "\nexpected: both variants accurate to O(1); the deterministic variant is\n"
+            << "somewhat slower (coin flips cost extra A-F meetings) and uses more states\n"
+            << "(every A also stores its own sum: O(log^6) vs O(log^4), Lemma B.5), and\n"
+            << "its workers' outputs spread over a small range instead of agreeing exactly.\n";
+  return 0;
+}

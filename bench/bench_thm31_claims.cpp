@@ -1,0 +1,70 @@
+// T31 — Theorem 3.1 claims table: accuracy (|k − log n| <= 5.7 w.p. >= 1−9/n),
+// time O(log² n), and states O(log⁴ n), measured per population size.
+//
+// The state count is measured as in Lemma 3.9: the product of the ranges the
+// protocol's fields actually take during the run (logSize2, gr, time, epoch,
+// sum), which is the number of distinct working-tape contents an agent could
+// exhibit.  The paper's table bounds: logSize2 <= 2 log n + 1, gr <= 2 log n,
+// time <= 191 log n, epoch <= 11 log n, sum <= 22 log² n.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/log_size_estimation.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "sim/metrics.hpp"
+#include "stats/bounds.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using pops::Table;
+  pops::banner("T31: Theorem 3.1 claims — error <= 5.7, time O(log^2 n), states O(log^4 n)");
+
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(2, 6, 10);
+  std::vector<std::uint64_t> sizes =
+      pops::bench_scale() == 0 ? std::vector<std::uint64_t>{128, 512}
+                               : std::vector<std::uint64_t>{128, 512, 2048, 8192};
+
+  Table table({"n", "mean_|err|", "max_|err|", "frac<=5.7", "9/n_bound", "mean_time",
+               "time/log^2", "states_bound", "states/log^4"});
+
+  for (const auto n : sizes) {
+    const double logn = std::log2(static_cast<double>(n));
+    pops::Summary err, time, states;
+    std::uint64_t ok = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      pops::AgentSimulation<pops::LogSizeEstimation> sim(
+          pops::LogSizeEstimation{}, n, pops::trial_seed(0x731, n * 100 + t));
+      pops::FieldRangeRecorder rec;
+      double converged_at = -1.0;
+      while (sim.time() < 5e7) {
+        if (pops::converged(sim)) {
+          converged_at = sim.time();
+          break;
+        }
+        sim.advance_time(100.0);
+        pops::record_field_ranges(sim, rec);
+      }
+      if (converged_at < 0.0) continue;
+      const double e = std::abs(static_cast<double>(pops::estimate(sim)) - logn);
+      err.add(e);
+      time.add(converged_at);
+      states.add(rec.state_count_bound());
+      ok += e <= 5.7 ? 1 : 0;
+    }
+    table.row({Table::num(n), Table::num(err.mean(), 2), Table::num(err.max(), 2),
+               Table::num(static_cast<double>(ok) / static_cast<double>(trials), 2),
+               Table::num(1.0 - pops::bounds::thm31_error_tail(n), 3),
+               Table::num(time.mean(), 0), Table::num(time.mean() / (logn * logn), 1),
+               Table::num(states.mean(), 0),
+               Table::num(states.mean() / std::pow(logn, 4.0), 1)});
+  }
+  table.print();
+  std::cout << "\nexpected: frac<=5.7 at least the 1-9/n bound; time/log^2 and\n"
+            << "states/log^4 roughly flat in n (the Theorem 3.1 asymptotics).\n";
+  return 0;
+}

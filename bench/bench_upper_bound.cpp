@@ -1,0 +1,59 @@
+// UB — Section 3.3: probability-1 upper bound on log n.  Measures the
+// fraction of (trial, agent) pairs with report >= log2 n after stabilization
+// (must be exactly 1.0), the overshoot distribution, and convergence time of
+// the fast component.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/upper_bound_estimation.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using pops::Table;
+  pops::banner("UB: probability-1 upper bound on log n (paper sec 3.3)");
+
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(3, 8, 20);
+  const std::vector<std::uint64_t> sizes{100, 300, 1000};
+
+  Table table({"n", "trials", "frac_report>=logn", "mean_overshoot", "max_overshoot",
+               "mean_fast_time"});
+  for (const auto n : sizes) {
+    const double logn = std::log2(static_cast<double>(n));
+    std::uint64_t checked = 0, ok = 0;
+    pops::Summary overshoot, fast_time;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      pops::AgentSimulation<pops::UpperBoundEstimation> sim(
+          pops::UpperBoundEstimation{}, n, pops::trial_seed(0x0B1, n + t));
+      const double tt = sim.run_until(
+          [](const pops::AgentSimulation<pops::UpperBoundEstimation>& s) {
+            return pops::fast_converged(s);
+          },
+          25.0, 1e8);
+      if (tt < 0.0) continue;
+      fast_time.add(tt);
+      // Let the slow backup stabilize too (Θ(n) more time).
+      sim.advance_time(static_cast<double>(n) * 30.0);
+      for (const auto& a : sim.agents()) {
+        const double r = sim.protocol().report(a);
+        ++checked;
+        ok += r >= logn ? 1 : 0;
+        overshoot.add(r - logn);
+      }
+    }
+    table.row({Table::num(n), Table::num(trials),
+               Table::num(static_cast<double>(ok) / static_cast<double>(checked), 4),
+               Table::num(overshoot.mean(), 2), Table::num(overshoot.max(), 2),
+               Table::num(fast_time.mean(), 0)});
+  }
+  table.print();
+  std::cout << "\nexpected: frac_report>=logn exactly 1.0000 (the probability-1 guarantee:\n"
+            << "max(fast+4, kex) with kex >= log n always); overshoot ~ +5 typical (the\n"
+            << "+3.7-style shift, paper: k <= log n + 9.4 whp); fast time ~ O(log^2 n).\n";
+  return 0;
+}

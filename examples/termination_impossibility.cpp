@@ -1,0 +1,74 @@
+// Example: why uniform dense protocols cannot know when they are done
+// (Theorem 4.1), and how a leader changes everything (Theorem 3.13).
+//
+// Run:  ./build/examples/termination_impossibility [seed]
+//
+// Side by side:
+//   1. a dense uniform protocol that tries to delay a `terminated` signal by
+//      counting interactions — the signal appears at the SAME constant time
+//      no matter how large the population;
+//   2. the leader-driven terminating estimator — the signal arrives after the
+//      estimate has converged, at a time growing with n.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/leader_terminating_estimation.hpp"
+#include "harness/table.hpp"
+#include "sim/agent_simulation.hpp"
+#include "termination/terminating_toys.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  pops::banner("Theorem 4.1: a dense uniform protocol's termination signal is O(1)");
+  std::cout << "protocol: every agent counts its interactions and 'terminates' at 60.\n"
+            << "Uniformity means 60 cannot depend on n -- and some agent always gets\n"
+            << "there in ~30 time units:\n\n";
+  pops::Table dense({"n", "first_signal_time"});
+  for (std::uint64_t n : {100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+    pops::AgentSimulation<pops::FixedCountTrigger> sim(pops::FixedCountTrigger{60}, n,
+                                                       seed + n);
+    const double t = sim.run_until(
+        [](const pops::AgentSimulation<pops::FixedCountTrigger>& s) {
+          return pops::any_terminated(s);
+        },
+        0.5, 1e6);
+    dense.row({pops::Table::num(n), pops::Table::num(t, 1)});
+  }
+  dense.print();
+
+  pops::banner("Theorem 3.13: with one leader, termination can wait for convergence");
+  std::cout << "protocol: the size estimator plus a leader-driven phase clock; the\n"
+            << "leader terminates after a phase budget of k2*5*logSize2 advances:\n\n";
+  pops::Table lead({"n", "signal_time", "estimate_at_signal", "log2(n)"});
+  for (std::uint64_t n : {128ULL, 512ULL}) {
+    pops::LeaderTerminatingEstimation proto;
+    pops::AgentSimulation<pops::LeaderTerminatingEstimation> sim(proto, n, seed + n);
+    pops::Rng rng(seed ^ n);
+    sim.set_state(0, proto.make_leader(rng));
+    const double t = sim.run_until(
+        [](const pops::AgentSimulation<pops::LeaderTerminatingEstimation>& s) {
+          return pops::any_terminated(s);
+        },
+        25.0, 1e8);
+    std::int64_t est = -1;
+    for (const auto& a : sim.agents()) {
+      if (a.est.has_output) {
+        est = a.est.output;
+        break;
+      }
+    }
+    lead.row({pops::Table::num(n), pops::Table::num(t, 0), pops::Table::num(est),
+              pops::Table::num(std::log2(static_cast<double>(n)), 2)});
+  }
+  lead.print();
+
+  std::cout << "\nThe dichotomy is Theorem 4.1's point: density + uniformity force the\n"
+            << "signal into constant time (any state reachable by m transitions floods\n"
+            << "the population in O(1) time from dense configurations -- Lemma 4.2), so\n"
+            << "only symmetry-breaking (a leader/junta) makes meaningful termination\n"
+            << "possible.\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Restart-based composition with a leaderless phase clock (paper §1.1, §3.1).
+//
+// Theorem 4.1 rules out a terminating size estimate, so nonuniform protocols
+// cannot be composed with the estimator by simply waiting for a "done"
+// signal.  The paper's workaround, implemented here:
+//
+//   * every agent draws a geometric RV at start; the maximum s is a weak size
+//     estimate (logSize2-style, Lemma 3.8) that propagates by epidemic;
+//   * every agent counts its own interactions in a `StageClock` with
+//     threshold f(s) = clock_multiplier · s, chosen via Lemma 3.6 so that no
+//     agent finishes a stage before the stage's epidemics complete, w.h.p.;
+//   * the first agent over the threshold advances the stage; higher stage
+//     indices propagate by epidemic; there are K(s) = stage_multiplier · s
+//     stages;
+//   * whenever an agent adopts a *larger* s, the entire downstream state is
+//     restarted (the paper's Restart scheme, as in [29]).
+//
+// The downstream protocol plugs in via the `StageProtocol` concept: it is
+// told when to restart (new s), when a new stage begins for an agent, and
+// participates in every interaction with both parties' stage indices.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "proto/leaderless_clock.hpp"
+#include "sim/agent_simulation.hpp"
+#include "sim/require.hpp"
+
+namespace pops {
+
+/// A protocol that runs in the stages of the leaderless clock.
+template <typename D>
+concept StageProtocol = std::copyable<typename D::State> &&
+    requires(const D d, typename D::State& a, typename D::State& b, Rng& rng,
+             std::uint32_t u32) {
+      { d.initial(rng) } -> std::same_as<typename D::State>;
+      d.restart(a, u32, rng);                 // estimate became u32: wipe
+      d.advance_stage(a, u32, rng);           // agent entered stage u32
+      d.interact(a, u32, b, u32, rng);        // interaction with stage indices
+    };
+
+template <StageProtocol D>
+class Composed {
+ public:
+  struct Params {
+    std::uint32_t clock_multiplier = 24;  ///< f(s) = clock_multiplier · s
+    std::uint32_t stage_multiplier = 6;   ///< K(s) = stage_multiplier · s
+    std::uint32_t estimate_offset = 2;    ///< s = geometric + offset (Lemma 3.8)
+  };
+
+  struct State {
+    std::uint32_t s = 0;  ///< weak log-size estimate (max geometric + offset)
+    StageClock clock;
+    typename D::State down;
+  };
+
+  explicit Composed(D downstream, Params params = {})
+      : params_(params), down_(std::move(downstream)) {
+    POPS_REQUIRE(params.clock_multiplier >= 1, "clock multiplier must be >= 1");
+    POPS_REQUIRE(params.stage_multiplier >= 1, "stage multiplier must be >= 1");
+  }
+
+  State initial(Rng& rng) const {
+    State st;
+    st.s = rng.geometric_fair() + params_.estimate_offset;
+    st.down = down_.initial(rng);
+    return st;
+  }
+
+  void interact(State& receiver, State& sender, Rng& rng) const {
+    // Weak estimate: max propagation with restart on adoption.
+    if (receiver.s < sender.s) {
+      receiver.s = sender.s;
+      restart(receiver, rng);
+    } else if (sender.s < receiver.s) {
+      sender.s = receiver.s;
+      restart(sender, rng);
+    }
+
+    tick(receiver, rng);
+    tick(sender, rng);
+
+    catch_up(receiver, sender, rng);
+    catch_up(sender, receiver, rng);
+
+    down_.interact(receiver.down, receiver.clock.stage, sender.down,
+                   sender.clock.stage, rng);
+  }
+
+  std::uint32_t stage_threshold(const State& s) const {
+    return params_.clock_multiplier * s.s;
+  }
+  std::uint32_t num_stages(const State& s) const {
+    return params_.stage_multiplier * s.s;
+  }
+
+  const D& downstream() const { return down_; }
+  const Params& params() const { return params_; }
+
+ private:
+  void restart(State& st, Rng& rng) const {
+    st.clock.reset();
+    down_.restart(st.down, st.s, rng);
+  }
+
+  void tick(State& st, Rng& rng) const {
+    if (st.clock.stage >= num_stages(st)) return;  // finished
+    if (st.clock.tick(stage_threshold(st))) {
+      down_.advance_stage(st.down, st.clock.stage, rng);
+    }
+  }
+
+  void catch_up(State& me, const State& other, Rng& rng) const {
+    while (me.clock.stage < other.clock.stage &&
+           me.clock.stage < num_stages(me)) {
+      me.clock.stage += 1;
+      me.clock.counter = 0;
+      down_.advance_stage(me.down, me.clock.stage, rng);
+    }
+    if (other.clock.stage > me.clock.stage) {
+      // Other is past our final stage (estimates may briefly differ).
+      me.clock.stage = other.clock.stage;
+      me.clock.counter = 0;
+    }
+  }
+
+  Params params_{};
+  D down_;
+};
+
+/// All agents past the final stage (the composition itself has converged;
+/// the downstream value may still be spreading).
+template <StageProtocol D>
+bool clock_finished(const AgentSimulation<Composed<D>>& sim) {
+  const Composed<D>& proto = sim.protocol();
+  for (const auto& a : sim.agents()) {
+    if (a.clock.stage < proto.num_stages(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace pops

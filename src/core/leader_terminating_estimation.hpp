@@ -1,0 +1,106 @@
+// Terminating size estimation with an initial leader (paper Section 3.4,
+// Theorem 3.13).
+//
+// Theorem 4.1 forbids termination for uniform *dense* protocols; with a
+// single initial leader the obstruction vanishes.  Construction (following
+// the proof of Theorem 3.13):
+//   * all agents run the main Log-Size-Estimation protocol;
+//   * the leader additionally drives an Angluin-style phase clock [9] with
+//     m > 288 phases, so each completed round takes Θ(log n) time w.h.p.;
+//   * the leader counts its phase advances (each takes Θ(log n) time w.h.p.)
+//     and terminates after a budget of phase_multiplier · 5 · logSize2
+//     advances — a Θ(log² n) timer that outlasts the estimation protocol
+//     w.h.p., exactly the timer construction in Theorem 3.13's proof;
+//   * the `terminated` flag spreads by epidemic; the value reported at
+//     termination is the estimation protocol's output.
+// Time O(log² n) and states O(log⁴ n) are preserved (the clock adds O(1)
+// state per agent).
+#pragma once
+
+#include <cstdint>
+
+#include "core/log_size_estimation.hpp"
+#include "proto/phase_clock.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+
+class LeaderTerminatingEstimation {
+ public:
+  struct Params {
+    LogSizeEstimation::Params main{};
+    std::uint32_t num_phases = 300;        ///< m > 288 (Theorem 3.13)
+    std::uint32_t phase_multiplier = 300;  ///< k2: phase budget k2·5·logSize2
+                                           ///< (each leader phase advance takes
+                                           ///< Θ(log n) time, so the budget is a
+                                           ///< Θ(log² n) timer; k2 = 300 keeps the
+                                           ///< timer ~2–10x past convergence)
+  };
+
+  struct State {
+    LogSizeEstimation::State est;
+    LeaderPhaseClock::State clock;
+    bool terminated = false;
+  };
+
+  LeaderTerminatingEstimation() = default;
+  explicit LeaderTerminatingEstimation(Params params)
+      : params_(params), est_(params.main), clock_{params.num_phases} {}
+
+  State initial(Rng& rng) const { return State{est_.initial(rng), {}, false}; }
+
+  /// The distinguished initial state for the single leader agent.
+  State make_leader(Rng& rng) const {
+    State s = initial(rng);
+    s.clock = LeaderPhaseClock::make_leader();
+    return s;
+  }
+
+  void interact(State& receiver, State& sender, Rng& rng) const {
+    est_.interact(receiver.est, sender.est, rng);
+    clock_.interact(receiver.clock, sender.clock, rng);
+    maybe_terminate(receiver);
+    maybe_terminate(sender);
+    if (receiver.terminated || sender.terminated) {
+      receiver.terminated = true;
+      sender.terminated = true;
+    }
+  }
+
+  const Params& params() const { return params_; }
+
+  /// Phase advances the leader waits for before declaring termination, given
+  /// its current logSize2 value: k2 · 5 · logSize2 (Theorem 3.13's budget).
+  std::uint64_t phase_target(const State& s) const {
+    return static_cast<std::uint64_t>(params_.phase_multiplier) *
+           params_.main.epoch_multiplier * s.est.log_size2;
+  }
+
+ private:
+  void maybe_terminate(State& s) const {
+    if (s.clock.leader && !s.terminated && s.clock.increments >= phase_target(s)) {
+      s.terminated = true;
+    }
+  }
+
+  Params params_{};
+  LogSizeEstimation est_{};
+  LeaderPhaseClock clock_{};
+};
+static_assert(AgentProtocol<LeaderTerminatingEstimation>);
+
+inline bool any_terminated(const AgentSimulation<LeaderTerminatingEstimation>& sim) {
+  for (const auto& a : sim.agents()) {
+    if (a.terminated) return true;
+  }
+  return false;
+}
+
+inline bool all_terminated(const AgentSimulation<LeaderTerminatingEstimation>& sim) {
+  for (const auto& a : sim.agents()) {
+    if (!a.terminated) return false;
+  }
+  return true;
+}
+
+}  // namespace pops

@@ -1,0 +1,248 @@
+// Size estimation with no access to random bits (paper Appendix B,
+// Protocols 10–19).
+//
+// The transition function here is *deterministic*: the only randomness is the
+// scheduler's uniformly random choice of ordered pair.  The population splits
+// into workers (A) and coin-flippers (F); in an A–F encounter the A agent is
+// the sender or the receiver with probability exactly 1/2 each, and that
+// choice is the synthetic coin (due to Sudo et al. [39]):
+//     A is sender  → "tails" → extend the geometric variable being built
+//     A is receiver→ "heads" → the variable is complete
+// Unlike the main protocol there is no storage role: every A keeps its own
+// running sum of epoch maxima, which costs O(log^6 n) states instead of
+// O(log^4 n) (Lemma B.5) but needs no Update-Sum rendezvous.
+//
+// `interact` takes an Rng& to satisfy the AgentProtocol concept but never
+// draws from it — asserted by the determinism test in tests/.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/agent_simulation.hpp"
+#include "sim/metrics.hpp"
+#include "sim/require.hpp"
+
+namespace pops {
+
+class SyntheticCoinEstimation {
+ public:
+  struct Params {
+    std::uint32_t time_multiplier = 95;
+    std::uint32_t epoch_multiplier = 5;
+  };
+
+  enum class CoinRole : std::uint8_t { X = 0, A = 1, F = 2 };
+
+  struct State {
+    CoinRole role = CoinRole::X;
+    bool log_size2_generated = false;
+    bool gr_generated = false;
+    bool protocol_done = false;
+    std::uint32_t time = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t log_size2 = 1;
+    std::uint32_t gr = 1;
+    std::uint32_t sum = 0;
+    std::int32_t output = 0;
+  };
+
+  SyntheticCoinEstimation() = default;
+  explicit SyntheticCoinEstimation(Params params) : params_(params) {
+    POPS_REQUIRE(params.time_multiplier >= 1, "time multiplier must be >= 1");
+    POPS_REQUIRE(params.epoch_multiplier >= 1, "epoch multiplier must be >= 1");
+  }
+
+  const Params& params() const { return params_; }
+
+  State initial(Rng&) const { return State{}; }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    partition_into_roles(receiver, sender);
+
+    if (receiver.role == CoinRole::A) {
+      ++receiver.time;
+      check_timer(receiver);
+    }
+    if (sender.role == CoinRole::A) {
+      ++sender.time;
+      check_timer(sender);
+    }
+
+    // Exactly one A and one F: harvest the synthetic coin.
+    const bool rec_a = receiver.role == CoinRole::A;
+    const bool sen_a = sender.role == CoinRole::A;
+    const bool rec_f = receiver.role == CoinRole::F;
+    const bool sen_f = sender.role == CoinRole::F;
+    if ((rec_a && sen_f) || (rec_f && sen_a)) {
+      State& a = rec_a ? receiver : sender;
+      if (!a.log_size2_generated) {
+        generate_clock(receiver, sender);
+      } else if (!a.gr_generated) {
+        generate_grv(receiver, sender);
+      }
+    }
+
+    if (rec_a && sen_a && receiver.gr_generated && sender.gr_generated) {
+      propagate_max_clock_value(receiver, sender);
+    }
+    if (receiver.gr_generated && sender.gr_generated) {
+      propagate_incremented_epoch(receiver, sender);
+      // Re-check grGenerated: Propagate-Incremented-Epoch resets the adopting
+      // agent's gr (Update-Sum sets gr = 1, grGenerated = False), and handing
+      // it the other party's completed gr as a *starting point* for its next
+      // generation would compound values and bias the estimate by Θ(log n) —
+      // see DESIGN.md §4.8.  Max propagation is only between agents whose
+      // current-epoch variables are both complete.
+      if (receiver.gr_generated && sender.gr_generated &&
+          receiver.epoch == sender.epoch) {
+        const std::uint32_t m = std::max(receiver.gr, sender.gr);
+        receiver.gr = m;
+        sender.gr = m;
+      }
+    }
+  }
+
+  std::uint32_t time_threshold(const State& s) const {
+    return params_.time_multiplier * s.log_size2;
+  }
+  std::uint32_t epoch_target(const State& s) const {
+    return params_.epoch_multiplier * s.log_size2;
+  }
+
+ private:
+  // Subprotocol 11 (Partition-Into-A/F).
+  static void partition_into_roles(State& receiver, State& sender) {
+    if (sender.role == CoinRole::X && receiver.role == CoinRole::X) {
+      sender.role = CoinRole::A;
+      receiver.role = CoinRole::F;
+    } else if (sender.role == CoinRole::A && receiver.role == CoinRole::X) {
+      receiver.role = CoinRole::F;
+    } else if (sender.role == CoinRole::F && receiver.role == CoinRole::X) {
+      receiver.role = CoinRole::A;
+    }
+  }
+
+  // Subprotocol 12 (Generate-Clock): the A extends logSize2 while it is the
+  // sender; completion (as receiver) applies the +2 of Lemma 3.8.
+  static void generate_clock(State& receiver, State& sender) {
+    if (sender.role == CoinRole::A) {
+      ++sender.log_size2;
+    } else if (receiver.role == CoinRole::A) {
+      receiver.log_size2_generated = true;
+      receiver.log_size2 += 2;
+    }
+  }
+
+  // Subprotocol 15 (Generate-G.R.V).
+  static void generate_grv(State& receiver, State& sender) {
+    if (sender.role == CoinRole::A) {
+      ++sender.gr;
+    } else if (receiver.role == CoinRole::A) {
+      receiver.gr_generated = true;
+    }
+  }
+
+  // Subprotocol 14 (Restart).
+  static void restart(State& s) {
+    s.time = 0;
+    s.sum = 0;
+    s.epoch = 0;
+    s.gr = 1;
+    s.gr_generated = false;
+    s.protocol_done = false;
+    s.output = 0;
+  }
+
+  // Subprotocol 13 (Propagate-Max-Clock-Value).
+  static void propagate_max_clock_value(State& receiver, State& sender) {
+    if (receiver.log_size2 < sender.log_size2) {
+      receiver.log_size2 = sender.log_size2;
+      restart(receiver);
+    } else if (sender.log_size2 < receiver.log_size2) {
+      sender.log_size2 = receiver.log_size2;
+      restart(sender);
+    }
+  }
+
+  // Subprotocol 19 (Update-Sum): self-contained accumulation.
+  static void update_sum(State& s) {
+    s.sum += s.gr;
+    s.time = 0;
+    s.gr = 1;
+    s.gr_generated = false;
+  }
+
+  void finish_if_target_reached(State& s) const {
+    if (s.epoch >= epoch_target(s)) {
+      s.protocol_done = true;
+      s.output = static_cast<std::int32_t>(s.sum / s.epoch) + 1;
+    }
+  }
+
+  // Subprotocol 17 (Check-if-Timer-Done-and-Increment-Epoch).
+  void check_timer(State& s) const {
+    if (!s.protocol_done && s.time >= time_threshold(s)) {
+      ++s.epoch;
+      update_sum(s);
+      finish_if_target_reached(s);
+    }
+  }
+
+  // Subprotocol 18 (Propagate-Incremented-Epoch).
+  void propagate_incremented_epoch(State& receiver, State& sender) const {
+    if (receiver.epoch < sender.epoch) {
+      receiver.epoch = sender.epoch;
+      update_sum(receiver);
+      finish_if_target_reached(receiver);
+    } else if (sender.epoch < receiver.epoch) {
+      sender.epoch = receiver.epoch;
+      update_sum(sender);
+      finish_if_target_reached(sender);
+    }
+  }
+
+  Params params_{};
+};
+static_assert(AgentProtocol<SyntheticCoinEstimation>);
+
+// ----- observers --------------------------------------------------------
+
+/// Every A agent reached epoch = 5·logSize2 (convergence; F agents only
+/// serve coins and carry no output — paper footnote 21).
+inline bool converged(const AgentSimulation<SyntheticCoinEstimation>& sim) {
+  bool any_a = false;
+  for (const auto& a : sim.agents()) {
+    if (a.role == SyntheticCoinEstimation::CoinRole::A) {
+      any_a = true;
+      if (!a.protocol_done) return false;
+    } else if (a.role == SyntheticCoinEstimation::CoinRole::X) {
+      return false;
+    }
+  }
+  return any_a;
+}
+
+/// Outputs of all finished A agents (they may differ slightly: each A keeps
+/// its own sum).
+inline std::vector<std::int32_t> outputs(const AgentSimulation<SyntheticCoinEstimation>& sim) {
+  std::vector<std::int32_t> out;
+  for (const auto& a : sim.agents()) {
+    if (a.role == SyntheticCoinEstimation::CoinRole::A && a.protocol_done) out.push_back(a.output);
+  }
+  return out;
+}
+
+inline void record_field_ranges(const AgentSimulation<SyntheticCoinEstimation>& sim,
+                                FieldRangeRecorder& recorder) {
+  for (const auto& a : sim.agents()) {
+    recorder.observe("logSize2", a.log_size2);
+    recorder.observe("gr", a.gr);
+    recorder.observe("time", a.time);
+    recorder.observe("epoch", a.epoch);
+    recorder.observe("sum", a.sum);
+  }
+}
+
+}  // namespace pops

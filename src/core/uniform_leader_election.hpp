@@ -1,0 +1,79 @@
+// Uniform polylog-time leader election by composition (paper §1.1).
+//
+// The fast leader-election protocols the paper cites [4, 2, 17, 15] are
+// nonuniform: they hard-code log n.  This module shows the paper's point —
+// given the composition scheme (weak size estimate + leaderless stage clock +
+// restart), the standard random-bit tournament becomes uniform:
+//
+//   * every agent starts as a contender with the 1-bit string "1" (a sentinel
+//     leading bit, so numeric comparison equals equal-length lexicographic
+//     comparison);
+//   * in each stage, every surviving contender appends one fresh random bit;
+//   * the maximum bitstring propagates by epidemic; a contender strictly
+//     below the maximum drops out;
+//   * after K(s) = Θ(log n) stages the maximum is unique w.h.p. (two fixed
+//     contenders collide with probability 2^{−K}; union over pairs gives
+//     n² 2^{−K} = o(1) for K >= 3 log n), so exactly one contender remains.
+//
+// The invariant "the numerically largest bitstring is held by a live
+// contender" guarantees at least one leader always survives; uniqueness is
+// the w.h.p. part.  Bitstrings live in unsigned __int128 (stages cap at 120
+// appended bits — far beyond K(s) for any feasible n).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/composition.hpp"
+#include "sim/int128.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+
+struct LeaderElectionStage {
+  struct State {
+    bool contender = true;
+    u128 own = 1;   ///< this agent's bitstring (sentinel-led)
+    u128 best = 1;  ///< max bitstring seen anywhere
+  };
+
+  State initial(Rng&) const { return State{}; }
+
+  void restart(State& s, std::uint32_t /*estimate*/, Rng&) const { s = State{}; }
+
+  void advance_stage(State& s, std::uint32_t stage, Rng& rng) const {
+    if (s.contender && stage <= 120) {
+      s.own = (s.own << 1) | static_cast<unsigned>(rng.coin());
+      s.best = std::max(s.best, s.own);
+    }
+  }
+
+  void interact(State& a, std::uint32_t /*stage_a*/, State& b, std::uint32_t /*stage_b*/,
+                Rng&) const {
+    const u128 m = std::max(a.best, b.best);
+    a.best = m;
+    b.best = m;
+    if (a.contender && a.own < a.best) a.contender = false;
+    if (b.contender && b.own < b.best) b.contender = false;
+  }
+};
+static_assert(StageProtocol<LeaderElectionStage>);
+
+using UniformLeaderElection = Composed<LeaderElectionStage>;
+
+/// Convenience factory with the default composition constants.
+inline UniformLeaderElection make_uniform_leader_election(
+    UniformLeaderElection::Params params = {}) {
+  return UniformLeaderElection(LeaderElectionStage{}, params);
+}
+
+/// Number of live contenders (1 == successful election).
+inline std::uint64_t count_contenders(const AgentSimulation<UniformLeaderElection>& sim) {
+  std::uint64_t count = 0;
+  for (const auto& a : sim.agents()) {
+    if (a.down.contender) ++count;
+  }
+  return count;
+}
+
+}  // namespace pops

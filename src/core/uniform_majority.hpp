@@ -1,0 +1,99 @@
+// Uniform exact-majority by composition (paper §1.1 motivation).
+//
+// The phased cancellation/doubling majority protocols the paper cites
+// ([6, 2, 3]) need ⌈log n⌉ synchronized levels — exactly the hard-coded
+// quantity that makes them nonuniform.  Composing the construction with the
+// leaderless stage clock makes it uniform:
+//
+//   * each agent starts with an opinion (+1/−1) as a level-0 token;
+//   * tokens of opposite sign and equal level cancel (both become blank);
+//   * a token may double: meeting a blank agent, token at level ℓ < stage
+//     converts both agents to sign tokens at level ℓ+1 — so levels trail the
+//     stage clock and every level gets a full Θ(log n) stage of cancellation
+//     before doubling past it;
+//   * blanks remember the sign of the last token they met as their output;
+//     tokens output their own sign.
+//
+// For majority gaps of a constant fraction the minority is eliminated w.h.p.
+// and all agents output the majority sign; the benches measure the success
+// rate across gaps.  (As with the cited protocols, correctness for o(n) gaps
+// requires more machinery; the point here is the uniformization.)
+#pragma once
+
+#include <cstdint>
+
+#include "core/composition.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+
+struct MajorityStage {
+  struct State {
+    std::int8_t input = +1;   ///< the agent's immutable vote
+    std::int8_t sign = +1;    ///< current token sign; 0 = blank
+    std::uint32_t level = 0;  ///< doubling level (<= current stage)
+    std::int8_t output = +1;  ///< reported majority opinion
+  };
+
+  State initial(Rng&) const { return State{}; }
+
+  /// Restart must re-seed from the immutable input, not from State{}.
+  void restart(State& s, std::uint32_t /*estimate*/, Rng&) const {
+    s.sign = s.input;
+    s.level = 0;
+    s.output = s.input;
+  }
+
+  void advance_stage(State&, std::uint32_t, Rng&) const {}
+
+  void interact(State& a, std::uint32_t stage_a, State& b, std::uint32_t stage_b,
+                Rng&) const {
+    if (a.sign != 0 && b.sign != 0 && a.sign == -b.sign && a.level == b.level) {
+      // Cancellation.
+      a.sign = 0;
+      b.sign = 0;
+    } else if (a.sign != 0 && b.sign == 0 && a.level < stage_a) {
+      // Doubling through a blank.
+      b.sign = a.sign;
+      ++a.level;
+      b.level = a.level;
+    } else if (b.sign != 0 && a.sign == 0 && b.level < stage_b) {
+      a.sign = b.sign;
+      ++b.level;
+      a.level = b.level;
+    }
+    if (a.sign != 0) a.output = a.sign;
+    if (b.sign != 0) b.output = b.sign;
+    if (a.sign != 0 && b.sign == 0) b.output = a.sign;
+    if (b.sign != 0 && a.sign == 0) a.output = b.sign;
+  }
+};
+static_assert(StageProtocol<MajorityStage>);
+
+using UniformMajority = Composed<MajorityStage>;
+
+inline UniformMajority make_uniform_majority(UniformMajority::Params params = {}) {
+  return UniformMajority(MajorityStage{}, params);
+}
+
+/// Assign votes: the first `positives` agents vote +1, the rest −1.
+inline void assign_votes(AgentSimulation<UniformMajority>& sim, std::uint64_t positives) {
+  for (std::uint64_t i = 0; i < sim.population_size(); ++i) {
+    auto st = sim.agent(i);
+    st.down.input = (i < positives) ? std::int8_t{+1} : std::int8_t{-1};
+    st.down.sign = st.down.input;
+    st.down.output = st.down.input;
+    sim.set_state(i, st);
+  }
+}
+
+/// Fraction of agents whose output matches `sign`.
+inline double output_agreement(const AgentSimulation<UniformMajority>& sim, int sign) {
+  std::uint64_t agree = 0;
+  for (const auto& a : sim.agents()) {
+    if (a.down.output == sign) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(sim.population_size());
+}
+
+}  // namespace pops

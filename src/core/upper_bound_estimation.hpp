@@ -1,0 +1,83 @@
+// Probability-1 upper bound on log n (paper Section 3.3).
+//
+// The main protocol can err in either direction.  For many downstream uses an
+// *upper bound* on log n suffices for correctness (being too large only slows
+// things down).  Construction:
+//   * run the main Log-Size-Estimation with its estimate shifted up by 3.7
+//     (so k >= log n w.h.p. — one-sided application of Lemma D.8), and
+//   * in parallel run the slow exact backup ℓ_i,ℓ_i → ℓ_{i+1},f_{i+1};
+//     f_i,f_j → f_i,f_i, whose kex >= log2 n with probability 1 once stable;
+//   * report max(k, kex) at any moment.
+// The fast estimate is correct (and an upper bound) w.p. 1 − O(log n / n); if
+// it fails, kex eventually exceeds it, so the reported value is >= log n with
+// probability 1, while the high-probability convergence time stays O(log² n).
+//
+// Since outputs are integers we shift by ceil(3.7) = 4 (documented; the
+// guarantee only needs "+3.7 or more").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/log_size_estimation.hpp"
+#include "proto/exact_counting.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+
+class UpperBoundEstimation {
+ public:
+  struct Params {
+    LogSizeEstimation::Params main{};
+    std::int32_t shift = 4;  ///< added to the fast estimate (paper: 3.7)
+  };
+
+  struct State {
+    LogSizeEstimation::State fast;
+    ExactCountingBackup::State backup;
+  };
+
+  UpperBoundEstimation() = default;
+  explicit UpperBoundEstimation(Params params)
+      : params_(params), fast_(params.main) {}
+
+  State initial(Rng& rng) const {
+    return State{fast_.initial(rng), backup_.initial(rng)};
+  }
+
+  void interact(State& receiver, State& sender, Rng& rng) const {
+    fast_.interact(receiver.fast, sender.fast, rng);
+    backup_.interact(receiver.backup, sender.backup, rng);
+  }
+
+  /// The value this agent currently reports: max(fast + shift, kex).
+  std::int32_t report(const State& s) const {
+    const std::int32_t kex =
+        static_cast<std::int32_t>(ExactCountingBackup::estimate(s.backup));
+    if (!s.fast.has_output) return kex;
+    return std::max(s.fast.output + params_.shift, kex);
+  }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_{};
+  LogSizeEstimation fast_{};
+  ExactCountingBackup backup_{};
+};
+static_assert(AgentProtocol<UpperBoundEstimation>);
+
+/// Fast part converged (the backup keeps running silently afterwards).
+inline bool fast_converged(const AgentSimulation<UpperBoundEstimation>& sim) {
+  const auto& agents = sim.agents();
+  if (!agents.front().fast.has_output) return false;
+  const std::int32_t value = agents.front().fast.output;
+  for (const auto& a : agents) {
+    if (!a.fast.protocol_done || !a.fast.has_output || a.fast.output != value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pops

@@ -1,0 +1,31 @@
+// Benchmark scale control.
+//
+// POPS_BENCH_SCALE in the environment selects the experiment size:
+//   0 — smoke (seconds; CI-friendly)
+//   1 — default (minutes on one core; the committed bench_output.txt)
+//   2 — paper scale where feasible (Figure 2 up to n = 10^5; hours)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace pops {
+
+inline int bench_scale() {
+  const char* env = std::getenv("POPS_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const int v = std::atoi(env);
+  return v < 0 ? 0 : (v > 2 ? 2 : v);
+}
+
+/// Pick a value by scale: smoke / standard / paper.
+template <typename T>
+T by_scale(T smoke, T standard, T paper) {
+  switch (bench_scale()) {
+    case 0: return smoke;
+    case 2: return paper;
+    default: return standard;
+  }
+}
+
+}  // namespace pops

@@ -1,0 +1,65 @@
+// Plain-text table printer for the benchmark harness: aligned columns,
+// paper-style rows, machine-greppable.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/require.hpp"
+
+namespace pops {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    POPS_REQUIRE(!headers_.empty(), "table needs at least one column");
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    POPS_REQUIRE(cells.size() == headers_.size(), "row width mismatch");
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string num(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string num(std::int64_t v) { return std::to_string(v); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << "  " << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      }
+      os << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner for bench output.
+inline void banner(const std::string& title, std::ostream& os = std::cout) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace pops

@@ -1,0 +1,33 @@
+// Multi-trial experiment harness.
+//
+// Every trial gets an independent, reproducible seed derived from a master
+// seed via SplitMix64; results are collected into a vector for summarization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace pops {
+
+/// Derive the seed for trial `index` from `master`.
+inline std::uint64_t trial_seed(std::uint64_t master, std::uint64_t index) {
+  SplitMix64 sm(master ^ (0xA5A5A5A5DEADBEEFULL + index * 0x9E3779B97F4A7C15ULL));
+  return sm.next();
+}
+
+/// Run `trials` independent repetitions of `fn(seed, trial_index)` and return
+/// the results.
+template <typename Fn>
+auto run_trials(std::uint64_t trials, std::uint64_t master_seed, Fn&& fn) {
+  using Result = decltype(fn(std::uint64_t{}, std::uint64_t{}));
+  std::vector<Result> results;
+  results.reserve(trials);
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    results.push_back(fn(trial_seed(master_seed, i), i));
+  }
+  return results;
+}
+
+}  // namespace pops

@@ -1,0 +1,45 @@
+// The paper's introductory arithmetic examples (Section 1).
+//
+// "For example, the transition x,q → y,y (starting with at least as many q as
+//  the input state x) computes f(x) = 2x in expected time O(log n), whereas
+//  x,x → y,q computes f(x) = floor(x/2) exponentially slower: expected time
+//  O(n)."
+//
+// These two protocols bracket the whole field's notion of "efficient": the
+// doubling transition is an epidemic-like *spreading* process (every x–q
+// meeting makes progress, and progress compounds), while halving needs
+// *specific pairs* (x must meet x), whose meeting rate collapses as x is
+// consumed.  The ARITH bench regenerates the exponential gap.
+//
+// Output convention (paper §2.1 footnote 11 — distributed output): the value
+// computed is the COUNT of agents in the output state y.
+#pragma once
+
+#include "sim/finite_spec.hpp"
+
+namespace pops {
+
+/// x, q → y, y: computes f(x) = 2x into the count of y.  O(log n) expected.
+inline FiniteSpec doubling_spec() {
+  FiniteSpec spec;
+  spec.add_symmetric("x", "q", "y", "y");
+  return spec;
+}
+
+/// x, x → y, q: computes f(x) = floor(x/2) into the count of y.  O(n)
+/// expected — the last two x's take Θ(n) time to find each other.
+inline FiniteSpec halving_spec() {
+  FiniteSpec spec;
+  spec.add("x", "x", "y", "q");
+  return spec;
+}
+
+/// x, q → y, q with rate 1: f(x) = x "copy" via catalyst — O(log n), used in
+/// tests as a third data point (single-sided epidemic).
+inline FiniteSpec copy_spec() {
+  FiniteSpec spec;
+  spec.add_symmetric("x", "q", "y", "q");
+  return spec;
+}
+
+}  // namespace pops

@@ -1,0 +1,77 @@
+// Junta-driven phase clock.
+//
+// Theorem 4.1 notes that termination requires breaking density with "a leader
+// (or an o(n)-size junta of leaders)".  This clock generalizes the
+// leader-driven phase clock of [9] to a planted junta of j >= 1 clock-setter
+// agents: every junta member advances its phase on meeting an agent at its
+// own phase, and followers (and slower junta members, via the same catch-up
+// rule) adopt phases ahead of them within half the circle.
+//
+// With j = o(n) the clock still ticks at Θ(log(n/j))-ish per phase — the
+// announced phase must epidemic back to *some* junta member — so a junta of
+// size n^ε still supports the Θ(log² n) termination timer of Theorem 3.13,
+// while j = Θ(n) (a dense "junta") collapses the per-phase time to O(1),
+// which is exactly why dense protocols cannot delay termination.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/agent_simulation.hpp"
+#include "sim/require.hpp"
+
+namespace pops {
+
+struct JuntaPhaseClock {
+  std::uint32_t num_phases = 300;
+
+  struct State {
+    bool junta = false;
+    std::uint32_t phase = 0;
+    std::uint64_t increments = 0;  ///< junta members: phase advances
+  };
+
+  State initial(Rng&) const { return State{}; }
+
+  static State make_junta_member() {
+    State s;
+    s.junta = true;
+    return s;
+  }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    const State receiver_before = receiver;
+    const State sender_before = sender;
+    step(receiver, sender_before);
+    step(sender, receiver_before);
+  }
+
+ private:
+  void step(State& me, const State& other) const {
+    const std::uint32_t m = num_phases;
+    if (me.junta && other.phase == me.phase) {
+      me.phase = (me.phase + 1) % m;
+      ++me.increments;
+      return;
+    }
+    const std::uint32_t ahead = (other.phase + m - me.phase) % m;
+    if (ahead >= 1 && ahead <= m / 2) me.phase = other.phase;
+  }
+};
+static_assert(AgentProtocol<JuntaPhaseClock>);
+
+/// Plant the first `j` agents of `sim` as junta members.
+inline void plant_junta(AgentSimulation<JuntaPhaseClock>& sim, std::uint64_t j) {
+  POPS_REQUIRE(j >= 1 && j <= sim.population_size(), "junta size out of range");
+  for (std::uint64_t i = 0; i < j; ++i) sim.set_state(i, JuntaPhaseClock::make_junta_member());
+}
+
+/// Maximum phase advances recorded by any junta member.
+inline std::uint64_t max_junta_increments(const AgentSimulation<JuntaPhaseClock>& sim) {
+  std::uint64_t mx = 0;
+  for (const auto& a : sim.agents()) {
+    if (a.junta) mx = std::max(mx, a.increments);
+  }
+  return mx;
+}
+
+}  // namespace pops

@@ -1,0 +1,78 @@
+// Leader-driven uniform terminating exact counting (paper Section 1.2,
+// modeled on Michail [32]).
+//
+// With a pre-elected leader, uniform *terminating* computation is possible —
+// the contrast that makes Theorem 4.1's density hypothesis essential.  The
+// leader marks agents as it meets them and counts the marks; it decides it
+// has seen everyone after a stretch of f(c) = ceil(idle_factor · c · ln(c+2))
+// consecutive own-interactions producing no new mark, where c is its current
+// count.  f depends only on the leader's own observations, never on n, so the
+// protocol is uniform; because (1 − u/n)^{f(c)} is polynomially small when
+// u >= 1 agents remain unmarked and c = n − u, the count at termination is
+// exactly n w.h.p.  Expected time Θ(n log n) — coupon collector through the
+// leader's ~2 interactions per time unit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+
+struct LeaderCounting {
+  double idle_factor = 8.0;  ///< α in f(c) = ceil(α · c · ln(c+2))
+
+  struct State {
+    bool leader = false;
+    bool marked = false;
+    bool terminated = false;
+    std::uint64_t count = 0;  ///< leader only: number of marked agents (incl. self)
+    std::uint64_t idle = 0;   ///< leader only: own-interactions since last new mark
+  };
+
+  /// All agents start unmarked and leaderless; plant the leader with
+  /// `make_leader` via AgentSimulation::set_state.
+  State initial(Rng&) const { return State{}; }
+
+  static State make_leader() {
+    State s;
+    s.leader = true;
+    s.marked = true;
+    s.count = 1;
+    return s;
+  }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    step_leader(receiver, sender);
+    step_leader(sender, receiver);
+    // Termination signal spreads by epidemic.
+    if (receiver.terminated || sender.terminated) {
+      receiver.terminated = true;
+      sender.terminated = true;
+    }
+  }
+
+  /// Threshold of idle own-interactions at count c before the leader declares
+  /// the census complete.
+  std::uint64_t idle_threshold(std::uint64_t c) const {
+    return static_cast<std::uint64_t>(
+        std::ceil(idle_factor * static_cast<double>(c) * std::log(static_cast<double>(c) + 2.0)));
+  }
+
+ private:
+  void step_leader(State& me, State& other) const {
+    if (!me.leader || me.terminated) return;
+    if (!other.marked) {
+      other.marked = true;
+      ++me.count;
+      me.idle = 0;
+    } else {
+      ++me.idle;
+      if (me.idle >= idle_threshold(me.count)) me.terminated = true;
+    }
+  }
+};
+static_assert(AgentProtocol<LeaderCounting>);
+
+}  // namespace pops

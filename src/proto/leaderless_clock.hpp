@@ -1,0 +1,52 @@
+// The paper's leaderless phase clock (Sections 1.1 and 3.1).
+//
+// Unlike the junta/leader clocks of [3, 9, 35], this clock is trivially
+// uniform: every agent simply counts its own interactions and compares the
+// count against a threshold f(s) derived from a weak size estimate s
+// (f(s) = c·s with c chosen via Lemma 3.6 so that, w.h.p., no agent crosses
+// the threshold before the current stage's epidemic has completed).  The
+// first agent over the threshold advances the stage; the new stage index
+// spreads by epidemic and resets counters.
+//
+// `StageClock` is the per-agent component; protocols that embed it decide
+// what "a stage begins" means via their own hooks.
+#pragma once
+
+#include <cstdint>
+
+namespace pops {
+
+struct StageClock {
+  std::uint32_t stage = 0;
+  std::uint64_t counter = 0;
+
+  void reset() {
+    stage = 0;
+    counter = 0;
+  }
+
+  /// Count one own-interaction; advance the stage when the threshold is hit.
+  /// Returns true when this tick advanced the stage.
+  bool tick(std::uint64_t threshold) {
+    ++counter;
+    if (counter >= threshold) {
+      ++stage;
+      counter = 0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Adopt `other`'s stage if it is ahead.  Returns true when this call
+  /// advanced the stage (the caller should then restart its stage-local work).
+  bool catch_up(const StageClock& other) {
+    if (other.stage > stage) {
+      stage = other.stage;
+      counter = 0;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace pops

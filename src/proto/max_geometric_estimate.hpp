@@ -1,0 +1,46 @@
+// The Alistarh–Aspnes–Eisenstat–Gelashvili–Rivest baseline estimator
+// (paper Section 1.2, "Approximate size estimation", reference [2]).
+//
+// Every agent draws one 1/2-geometric random variable and the population
+// propagates the maximum by epidemic.  In O(log n) time all agents hold
+// k = max_i G_i, and (Corollary A.2 / Lemma D.7 with perfectly random bits)
+//     log n − log ln n  <=  k  <=  2 log n      w.p. >= 1 − O(1)/n,
+// i.e. sqrt-ish multiplicative accuracy: sqrt(n)/ln n <= 2^k <= n².  The main
+// protocol of the paper uses this as its first stage (the logSize2 variable)
+// and then sharpens the multiplicative error to an additive one.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+
+struct MaxGeometricEstimate {
+  struct State {
+    std::uint32_t estimate = 0;  ///< current max-of-geometrics known
+  };
+
+  /// Uniform initialization: the draw happens identically in every agent.
+  State initial(Rng& rng) const { return State{rng.geometric_fair()}; }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    const std::uint32_t m = std::max(receiver.estimate, sender.estimate);
+    receiver.estimate = m;
+    sender.estimate = m;
+  }
+
+};
+static_assert(AgentProtocol<MaxGeometricEstimate>);
+
+/// True when every agent holds the same estimate (converged).
+inline bool converged(const AgentSimulation<MaxGeometricEstimate>& sim) {
+  const auto& agents = sim.agents();
+  for (const auto& a : agents) {
+    if (a.estimate != agents.front().estimate) return false;
+  }
+  return true;
+}
+
+}  // namespace pops

@@ -1,0 +1,52 @@
+// Partition-Into-A/S (paper Subprotocol 2) as a standalone protocol.
+//
+// Agents start role-less (X) and split into two nearly equal groups:
+//     X,X → A,S        (sender becomes A, receiver S)
+//     A,X → A,S        (receiver becomes S)
+//     S,X → S,A        (receiver becomes A)
+// The first rule alone needs Θ(n) time; the catch-up rules bring completion to
+// O(log n) at the cost of an O(sqrt(n ln n)) deviation from n/2 (Lemma 3.2:
+// Pr[| |A| − n/2 | >= a] <= 2 e^{−2a²/n}; Corollary 3.3: |A| ∈ [n/3, 2n/3]
+// w.p. >= 1 − e^{−n/18}).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/agent_simulation.hpp"
+#include "sim/finite_spec.hpp"
+
+namespace pops {
+
+enum class Role : std::uint8_t { X = 0, A = 1, S = 2 };
+
+/// FiniteSpec form (for the fast count simulator).  Receiver listed first.
+inline FiniteSpec partition_spec() {
+  FiniteSpec spec;
+  spec.add("X", "X", "S", "A");  // sen.role <- A, rec.role <- S
+  spec.add("X", "A", "S", "A");  // sen = A, rec = X: rec <- S
+  spec.add("X", "S", "A", "S");  // sen = S, rec = X: rec <- A
+  return spec;
+}
+
+/// Agent-level form, reused verbatim inside Log-Size-Estimation.
+struct PartitionProtocol {
+  struct State {
+    Role role = Role::X;
+  };
+
+  State initial(Rng&) const { return State{}; }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    if (sender.role == Role::X && receiver.role == Role::X) {
+      sender.role = Role::A;
+      receiver.role = Role::S;
+    } else if (sender.role == Role::A && receiver.role == Role::X) {
+      receiver.role = Role::S;
+    } else if (sender.role == Role::S && receiver.role == Role::X) {
+      receiver.role = Role::A;
+    }
+  }
+};
+static_assert(AgentProtocol<PartitionProtocol>);
+
+}  // namespace pops

@@ -1,0 +1,65 @@
+// Leader-driven phase clock (Angluin, Aspnes, Eisenstat [9]; paper §3.4).
+//
+// Agents carry a phase in {0, ..., m−1}.  A follower adopts the other party's
+// phase when it is "ahead" by a circular distance in [1, m/2].  The leader
+// advances its own phase by one when it meets an agent at its own phase —
+// i.e. only after the phase it announced has spread back to it, which takes
+// Θ(log n) time w.h.p. (the epidemic must reach a constant fraction before
+// the leader is likely to sample it).  Both parties react to the *pre-
+// interaction* state of the other, as in the population-protocol model.
+//
+// The leader's `increments` counter is the paper's timer: Theorem 3.13 sets
+// a phase budget of k2 · 5 · logSize2 phases, giving a Θ(log² n) timer that
+// outlasts the estimation protocol w.h.p.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/agent_simulation.hpp"
+#include "sim/require.hpp"
+
+namespace pops {
+
+struct LeaderPhaseClock {
+  std::uint32_t num_phases = 300;  ///< m; Theorem 3.13 uses m > 288
+
+  struct State {
+    bool leader = false;
+    std::uint32_t phase = 0;
+    std::uint64_t increments = 0;  ///< leader: total phase advances
+  };
+
+  State initial(Rng&) const { return State{}; }
+
+  static State make_leader() {
+    State s;
+    s.leader = true;
+    return s;
+  }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    // Transitions read the other party's pre-interaction state.
+    const State receiver_before = receiver;
+    const State sender_before = sender;
+    step(receiver, sender_before);
+    step(sender, receiver_before);
+  }
+
+ private:
+  void step(State& me, const State& other) const {
+    const std::uint32_t m = num_phases;
+    if (me.leader) {
+      if (other.phase == me.phase) {
+        me.phase = (me.phase + 1) % m;
+        ++me.increments;
+      }
+      return;
+    }
+    // Follower: catch up if other is ahead within half the circle.
+    const std::uint32_t ahead = (other.phase + m - me.phase) % m;
+    if (ahead >= 1 && ahead <= m / 2) me.phase = other.phase;
+  }
+};
+static_assert(AgentProtocol<LeaderPhaseClock>);
+
+}  // namespace pops

@@ -1,0 +1,91 @@
+// Classic constant-state predicate protocols (the semilinear predicates of
+// Angluin et al. [7, 8], the computational context of the paper's Sections 1
+// and 2).
+//
+// All problems computable with zero error by constant-state protocols are the
+// semilinear predicates, computable in O(n) time [9, 26]; the paper's whole
+// motivation is beating that with polylog-time, ω(1)-state protocols.  These
+// specs provide the canonical members of the class — used by tests (their
+// stable correctness is checkable exhaustively with sim/reachability.hpp), by
+// benches as Θ(n)-time contrast points, and as FiniteSpec exercise for the
+// count simulator.
+//
+// Output convention: Boolean output is carried by every agent (paper §2.1);
+// states are named "<role><output>" and `output_of` extracts the bit.
+#pragma once
+
+#include <string>
+
+#include "sim/finite_spec.hpp"
+#include "sim/require.hpp"
+
+namespace pops {
+
+/// Threshold predicate [x >= c] for constant c: leaders aggregate the count
+/// of x-tokens up to c.  States: L<k> (leader holding k tokens, output k>=c),
+/// F0/F1 (followers echoing the current leader output).  Transitions:
+///   L<i>, L<j> -> L<min(i+j, c)>, F<out>      (merge token counts)
+///   F*,  L<i>  -> F<[i>=c]>, L<i>             (followers adopt output)
+/// Every agent starts as L1 (carrying its own token) or L0 (input 0).
+inline FiniteSpec threshold_spec(std::uint32_t c) {
+  POPS_REQUIRE(c >= 1, "threshold must be at least 1");
+  FiniteSpec spec;
+  auto leader = [&](std::uint32_t k) { return "L" + std::to_string(k); };
+  auto follower = [](bool out) { return out ? std::string("F1") : std::string("F0"); };
+  for (std::uint32_t i = 0; i <= c; ++i) {
+    for (std::uint32_t j = 0; j <= c; ++j) {
+      const std::uint32_t merged = std::min(i + j, c);
+      spec.add(leader(i), leader(j), leader(merged), follower(merged >= c));
+    }
+    for (const bool out : {false, true}) {
+      spec.add(follower(out), leader(i), follower(i >= c), leader(i));
+      spec.add(leader(i), follower(out), leader(i), follower(i >= c));
+    }
+  }
+  return spec;
+}
+
+/// Parity predicate [sum of inputs odd]: the classic mod-2 protocol.  Leaders
+/// carry a bit and merge by XOR; followers echo.
+inline FiniteSpec parity_spec() {
+  FiniteSpec spec;
+  auto leader = [](int b) { return "L" + std::to_string(b); };
+  auto follower = [](int b) { return "F" + std::to_string(b); };
+  for (int i : {0, 1}) {
+    for (int j : {0, 1}) {
+      spec.add(leader(i), leader(j), leader(i ^ j), follower(i ^ j));
+    }
+    for (int b : {0, 1}) {
+      spec.add(follower(b), leader(i), follower(i), leader(i));
+      spec.add(leader(i), follower(b), leader(i), follower(i));
+    }
+  }
+  return spec;
+}
+
+/// The 3-state approximate-majority protocol (Angluin, Aspnes, Eisenstat):
+//      x, y -> b, b     (clash: both blank... classic form x,y -> x,b)
+///     x, y -> x, b ;  y, x -> y, b ;  x, b -> x, x ;  y, b -> y, y
+/// O(log n) time w.h.p., correct w.h.p. for sqrt(n log n) majority gaps —
+/// the constant-state *approximate* counterpart of the exact majority the
+/// composition demo builds.
+inline FiniteSpec approximate_majority_spec() {
+  FiniteSpec spec;
+  spec.add("x", "y", "x", "b");
+  spec.add("y", "x", "y", "b");
+  spec.add("b", "x", "x", "x");
+  spec.add("b", "y", "y", "y");
+  spec.add("x", "b", "x", "x");
+  spec.add("y", "b", "y", "y");
+  return spec;
+}
+
+/// True output bit of a threshold/parity state name ("L3"/"F1"-style), given
+/// the predicate's evaluation embedded in the name by the factories above.
+inline bool output_of(const FiniteSpec& spec, std::uint32_t state, std::uint32_t threshold) {
+  const std::string& name = spec.name(state);
+  if (name[0] == 'F') return name[1] == '1';
+  return static_cast<std::uint32_t>(std::stoul(name.substr(1))) >= threshold;
+}
+
+}  // namespace pops

@@ -1,0 +1,124 @@
+// Count-based (configuration-vector) simulator for finite-state protocols.
+//
+// A configuration ~c ∈ N^Λ (paper, Section 2) stores the count of each state.
+// Each step draws an ordered pair of *distinct* agents uniformly — receiver
+// first, then sender from the remaining n-1 — by sampling state indices with
+// probability proportional to counts, and fires one of the transitions
+// registered for that input pair according to the rate constants.
+//
+// For protocols with S = O(1) states this is dramatically faster than
+// per-agent simulation (no Θ(n) agent array to touch) and is exact: the
+// induced Markov chain on configurations is identical to the agent-level one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/finite_spec.hpp"
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+#include "sim/weighted_sampler.hpp"
+
+namespace pops {
+
+class CountSimulation {
+ public:
+  CountSimulation(FiniteSpec spec, std::uint64_t seed)
+      : spec_(std::move(spec)), rng_(seed), sampler_(spec_.num_states()) {
+    spec_.validate();
+    build_dispatch();
+  }
+
+  /// Set the initial count of a state (before stepping).
+  void set_count(const std::string& state, std::uint64_t count) {
+    sampler_.set_count(spec_.id(state), count);
+  }
+  void set_count(std::uint32_t state, std::uint64_t count) {
+    sampler_.set_count(state, count);
+  }
+
+  std::uint64_t count(const std::string& state) const {
+    return spec_.has_state(state) ? sampler_.count(spec_.id(state)) : 0;
+  }
+  std::uint64_t count(std::uint32_t state) const { return sampler_.count(state); }
+  std::uint64_t population_size() const { return sampler_.total(); }
+  std::uint64_t interactions() const { return interactions_; }
+  const FiniteSpec& spec() const { return spec_; }
+
+  double time() const {
+    return static_cast<double>(interactions_) / static_cast<double>(population_size());
+  }
+
+  /// One interaction.
+  void step() {
+    POPS_REQUIRE(population_size() >= 2, "population too small to interact");
+    // Receiver uniform among all agents; sender uniform among the rest.
+    const std::size_t receiver = sampler_.sample(rng_);
+    sampler_.add(receiver, -1);
+    const std::size_t sender = sampler_.sample(rng_);
+    sampler_.add(receiver, +1);
+    apply(static_cast<std::uint32_t>(receiver), static_cast<std::uint32_t>(sender));
+    ++interactions_;
+  }
+
+  void steps(std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) step();
+  }
+
+  void advance_time(double dt) {
+    POPS_REQUIRE(dt >= 0.0, "advance_time needs dt >= 0");
+    steps(static_cast<std::uint64_t>(dt * static_cast<double>(population_size())));
+  }
+
+  template <typename Pred>
+  double run_until(Pred&& done, double check_dt = 1.0, double max_time = 1e12) {
+    POPS_REQUIRE(check_dt > 0.0, "run_until needs check_dt > 0");
+    while (time() < max_time) {
+      if (done(*this)) return time();
+      advance_time(check_dt);
+    }
+    return done(*this) ? time() : -1.0;
+  }
+
+  /// Snapshot of all counts, indexed by state id.
+  std::vector<std::uint64_t> counts() const { return sampler_.counts(); }
+
+ private:
+  void build_dispatch() {
+    const std::uint32_t s = spec_.num_states();
+    dispatch_.assign(static_cast<std::size_t>(s) * s, {});
+    for (const auto& t : spec_.transitions()) {
+      dispatch_[static_cast<std::size_t>(t.in_receiver) * s + t.in_sender].push_back(t);
+    }
+  }
+
+  void apply(std::uint32_t receiver, std::uint32_t sender) {
+    const auto& options =
+        dispatch_[static_cast<std::size_t>(receiver) * spec_.num_states() + sender];
+    if (options.empty()) return;
+    double u = rng_.uniform_double();
+    for (const auto& t : options) {
+      if (u < t.rate) {
+        if (t.out_receiver != receiver) {
+          sampler_.add(receiver, -1);
+          sampler_.add(t.out_receiver, +1);
+        }
+        if (t.out_sender != sender) {
+          sampler_.add(sender, -1);
+          sampler_.add(t.out_sender, +1);
+        }
+        return;
+      }
+      u -= t.rate;
+    }
+    // Residual probability mass: null transition.
+  }
+
+  FiniteSpec spec_;
+  Rng rng_;
+  WeightedSampler sampler_;
+  std::vector<std::vector<Transition>> dispatch_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace pops

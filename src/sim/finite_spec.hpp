@@ -1,0 +1,91 @@
+// Explicit description of a finite-state population protocol.
+//
+// Section 4 of the paper works with a transition *relation* delta ⊆ Λ^4 with
+// rate constants: a,b →ρ c,d means that when (receiver a, sender b) interact,
+// with probability ρ they become (c, d).  `FiniteSpec` is that object made
+// concrete: named states plus a list of randomized transitions.  It backs
+//   * `CountSimulation` (exact simulation of the configuration vector), and
+//   * `producibility` (the Λ^m_ρ closure used by Theorem 4.1 / Lemma 4.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/require.hpp"
+
+namespace pops {
+
+/// One randomized transition a,b →ρ c,d (receiver a, sender b).
+struct Transition {
+  std::uint32_t in_receiver = 0;
+  std::uint32_t in_sender = 0;
+  std::uint32_t out_receiver = 0;
+  std::uint32_t out_sender = 0;
+  double rate = 1.0;  ///< probability of firing when (a, b) interact
+};
+
+class FiniteSpec {
+ public:
+  /// Register (or look up) a state by name; returns its dense id.
+  std::uint32_t state(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(name, static_cast<std::uint32_t>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+
+  bool has_state(const std::string& name) const { return ids_.count(name) != 0; }
+
+  std::uint32_t id(const std::string& name) const {
+    auto it = ids_.find(name);
+    POPS_REQUIRE(it != ids_.end(), "unknown state: " + name);
+    return it->second;
+  }
+
+  const std::string& name(std::uint32_t id) const { return names_.at(id); }
+  std::uint32_t num_states() const { return static_cast<std::uint32_t>(names_.size()); }
+
+  /// Add transition a,b →rate c,d.  The total rate of transitions sharing the
+  /// same input pair must not exceed 1; any remainder is a null transition.
+  void add(const std::string& a, const std::string& b, const std::string& c,
+           const std::string& d, double rate = 1.0) {
+    POPS_REQUIRE(rate > 0.0 && rate <= 1.0, "transition rate must lie in (0, 1]");
+    transitions_.push_back(Transition{state(a), state(b), state(c), state(d), rate});
+  }
+
+  /// Symmetric convenience: adds both a,b → c,d and b,a → d,c.
+  void add_symmetric(const std::string& a, const std::string& b, const std::string& c,
+                     const std::string& d, double rate = 1.0) {
+    add(a, b, c, d, rate);
+    if (a != b) add(b, a, d, c, rate);
+  }
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Total rate over all transitions with input pair (a, b); must be <= 1.
+  double total_rate(std::uint32_t a, std::uint32_t b) const {
+    double total = 0.0;
+    for (const auto& t : transitions_) {
+      if (t.in_receiver == a && t.in_sender == b) total += t.rate;
+    }
+    return total;
+  }
+
+  /// Check the rate discipline for every input pair that has transitions.
+  void validate() const {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> totals;
+    for (const auto& t : transitions_) totals[{t.in_receiver, t.in_sender}] += t.rate;
+    for (const auto& [pair, total] : totals) {
+      POPS_REQUIRE(total <= 1.0 + 1e-12, "transition rates for pair (" + name(pair.first) +
+                                             ", " + name(pair.second) + ") exceed 1");
+    }
+  }
+
+ private:
+  std::map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace pops

@@ -1,0 +1,12 @@
+// 128-bit unsigned integer alias.
+//
+// __int128 is a GCC/Clang extension; wrapping the typedef in __extension__
+// keeps -Wpedantic happy while letting us use fast 64x64->128 multiplication
+// (Lemire rejection sampling) and long tournament bitstrings.
+#pragma once
+
+namespace pops {
+
+__extension__ typedef unsigned __int128 u128;
+
+}  // namespace pops

@@ -1,0 +1,53 @@
+// Measurement helpers shared by tests and benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace pops {
+
+/// Tracks the maximum value each named field of an agent state reaches during
+/// a run.  Lemma 3.9 bounds the protocol's state count by the product of the
+/// ranges of its fields; this recorder measures those ranges empirically.
+class FieldRangeRecorder {
+ public:
+  void observe(const std::string& field, std::uint64_t value) {
+    auto& mx = max_[field];
+    mx = std::max(mx, value);
+  }
+
+  std::uint64_t max_value(const std::string& field) const {
+    auto it = max_.find(field);
+    return it == max_.end() ? 0 : it->second;
+  }
+
+  /// Product of (max + 1) over all observed fields: an upper bound on the
+  /// number of distinct states actually used (each field ranged over
+  /// {0, ..., max}).
+  double state_count_bound() const {
+    double product = 1.0;
+    for (const auto& [_, mx] : max_) product *= static_cast<double>(mx + 1);
+    return product;
+  }
+
+  const std::map<std::string, std::uint64_t>& maxima() const { return max_; }
+
+ private:
+  std::map<std::string, std::uint64_t> max_;
+};
+
+/// A (time, value) series sampled on a parallel-time grid.
+struct TimeSeries {
+  std::vector<double> times;
+  std::vector<double> values;
+
+  void add(double t, double v) {
+    times.push_back(t);
+    values.push_back(v);
+  }
+  std::size_t size() const { return times.size(); }
+};
+
+}  // namespace pops

@@ -1,0 +1,112 @@
+// Exhaustive configuration-space analysis for finite protocols at small n.
+//
+// Section 2.1 of the paper defines correctness notions on the configuration
+// graph: a configuration is *stably correct* if every configuration reachable
+// from it is correct; an execution *converges* when its configurations are
+// correct forever after, and *stabilizes* when they are stably correct
+// forever after.  For constant-state protocols and small n the reachability
+// relation is finite and can be explored exhaustively, which lets tests
+// verify these semantic definitions directly instead of sampling:
+//
+//   * `reachable_configurations(spec, from)` — BFS over the configuration
+//     graph (transitions applied to every input pair with positive count).
+//   * `is_stably(spec, config, predicate)` — does `predicate` hold in every
+//     reachable configuration?
+//   * `can_reach(spec, from, predicate)` — is a configuration satisfying
+//     `predicate` reachable?
+//
+// Configurations are count vectors indexed by state id; population sizes of
+// practical interest here are n <= ~30 with a handful of states (the
+// configuration count is C(n + |Λ| − 1, |Λ| − 1)).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "sim/finite_spec.hpp"
+#include "sim/require.hpp"
+
+namespace pops {
+
+using Configuration = std::vector<std::uint64_t>;
+
+/// All configurations produced by applying one transition to `config`.
+inline std::vector<Configuration> successor_configurations(const FiniteSpec& spec,
+                                                           const Configuration& config) {
+  POPS_REQUIRE(config.size() == spec.num_states(), "configuration/spec size mismatch");
+  std::set<Configuration> out;
+  for (const auto& t : spec.transitions()) {
+    const bool same = t.in_receiver == t.in_sender;
+    const std::uint64_t need = same ? 2 : 1;
+    if (config[t.in_receiver] < need || config[t.in_sender] < 1) continue;
+    Configuration next = config;
+    --next[t.in_receiver];
+    --next[t.in_sender];
+    ++next[t.out_receiver];
+    ++next[t.out_sender];
+    if (next != config) out.insert(std::move(next));
+  }
+  return {out.begin(), out.end()};
+}
+
+/// BFS closure of the reachability relation.  `max_configs` guards against
+/// accidental explosion (throws if exceeded).
+inline std::set<Configuration> reachable_configurations(const FiniteSpec& spec,
+                                                        const Configuration& from,
+                                                        std::size_t max_configs = 2000000) {
+  std::set<Configuration> seen{from};
+  std::queue<Configuration> frontier;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const Configuration current = frontier.front();
+    frontier.pop();
+    for (auto& next : successor_configurations(spec, current)) {
+      if (seen.insert(next).second) {
+        POPS_REQUIRE(seen.size() <= max_configs,
+                     "configuration graph larger than max_configs");
+        frontier.push(next);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Paper §2.1: `config` is stably-P if P holds in every reachable
+/// configuration (with P = "correct" this is "stably correct").
+template <typename Predicate>
+bool is_stably(const FiniteSpec& spec, const Configuration& config, Predicate&& p,
+               std::size_t max_configs = 2000000) {
+  for (const auto& c : reachable_configurations(spec, config, max_configs)) {
+    if (!p(c)) return false;
+  }
+  return true;
+}
+
+/// Is some configuration satisfying P reachable from `config`?
+template <typename Predicate>
+bool can_reach(const FiniteSpec& spec, const Configuration& config, Predicate&& p,
+               std::size_t max_configs = 2000000) {
+  for (const auto& c : reachable_configurations(spec, config, max_configs)) {
+    if (p(c)) return true;
+  }
+  return false;
+}
+
+/// A configuration is silent if no transition changes it (paper §4 cites the
+/// distinction between terminated and silent configurations [13]).
+inline bool is_silent(const FiniteSpec& spec, const Configuration& config) {
+  return successor_configurations(spec, config).empty();
+}
+
+/// Helper: build a configuration from (state name, count) pairs.
+inline Configuration make_configuration(const FiniteSpec& spec,
+                                        const std::map<std::string, std::uint64_t>& counts) {
+  Configuration c(spec.num_states(), 0);
+  for (const auto& [name, count] : counts) c[spec.id(name)] = count;
+  return c;
+}
+
+}  // namespace pops

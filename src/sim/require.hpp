@@ -1,0 +1,28 @@
+// Precondition checking for the pops library.
+//
+// POPS_REQUIRE(cond, msg) throws std::invalid_argument when a documented
+// precondition of a public API is violated.  It is always on (benchmarked
+// call sites keep it out of inner loops), so misuse fails loudly in Release
+// builds too.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pops {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string("pops precondition violated: ") + expr + " at " +
+                              file + ":" + std::to_string(line) + (msg.empty() ? "" : ": ") +
+                              msg);
+}
+
+}  // namespace pops
+
+#define POPS_REQUIRE(cond, msg)                                  \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::pops::require_failed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,81 @@
+// Fenwick-tree weighted sampler over integer counts.
+//
+// `CountSimulation` must repeatedly (a) draw a state index with probability
+// proportional to its count and (b) adjust counts by ±1.  A Fenwick (binary
+// indexed) tree supports both in O(log S) for S states, which keeps the count
+// simulator fast even when protocols have dozens of states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+
+namespace pops {
+
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::size_t size = 0) { resize(size); }
+
+  void resize(std::size_t size) {
+    size_ = size;
+    tree_.assign(size + 1, 0);
+    counts_.assign(size, 0);
+    total_ = 0;
+    // log2_ = largest power of two <= size (for the descend loop).
+    log2_ = 1;
+    while ((log2_ << 1) <= size_) log2_ <<= 1;
+  }
+
+  std::size_t size() const { return size_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Add `delta` (may be negative) to the count of index `i`.
+  void add(std::size_t i, std::int64_t delta) {
+    POPS_REQUIRE(i < size_, "index out of range");
+    POPS_REQUIRE(delta >= 0 || counts_[i] >= static_cast<std::uint64_t>(-delta),
+                 "count would go negative");
+    counts_[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(counts_[i]) + delta);
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) + delta);
+    for (std::size_t j = i + 1; j <= size_; j += j & (~j + 1)) {
+      tree_[j] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tree_[j]) + delta);
+    }
+  }
+
+  void set_count(std::size_t i, std::uint64_t value) {
+    add(i, static_cast<std::int64_t>(value) - static_cast<std::int64_t>(count(i)));
+  }
+
+  /// Index of the item owning position `target` in the cumulative-count order;
+  /// requires target < total().  O(log S).
+  std::size_t find(std::uint64_t target) const {
+    POPS_REQUIRE(target < total_, "target beyond total weight");
+    std::size_t pos = 0;
+    for (std::size_t step = log2_; step > 0; step >>= 1) {
+      const std::size_t next = pos + step;
+      if (next <= size_ && tree_[next] <= target) {
+        pos = next;
+        target -= tree_[next];
+      }
+    }
+    return pos;  // 0-based index
+  }
+
+  /// Draw an index with probability count(i)/total().
+  std::size_t sample(Rng& rng) const {
+    POPS_REQUIRE(total_ > 0, "cannot sample from an empty population");
+    return find(rng.below(total_));
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t log2_ = 1;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> tree_;    // 1-based Fenwick array
+  std::vector<std::uint64_t> counts_;  // mirror for O(1) reads
+};
+
+}  // namespace pops

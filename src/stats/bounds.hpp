@@ -1,0 +1,127 @@
+// Closed forms of the analytic bounds proved in the paper, so tests and
+// benches can compare Monte Carlo estimates against the exact expressions.
+//
+// Every function cites the paper statement it implements.  These are *upper
+// bounds on failure probabilities* (or intervals): empirical frequencies must
+// come out at or below them — that comparison is exactly what the TIMER / GEO
+// / EPI benches print.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/require.hpp"
+
+namespace pops {
+namespace bounds {
+
+/// n-th harmonic number H_n = sum_{k=1..n} 1/k.
+inline double harmonic(std::uint64_t n) {
+  if (n == 0) return 0.0;
+  if (n < 1024) {
+    double h = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) h += 1.0 / static_cast<double>(k);
+    return h;
+  }
+  // Asymptotic expansion: H_n = ln n + γ + 1/(2n) − 1/(12 n^2) + O(n^-4).
+  constexpr double kEulerGamma = 0.5772156649015328606;
+  const double x = static_cast<double>(n);
+  return std::log(x) + kEulerGamma + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x);
+}
+
+/// Lemma A.1 ([9]): expected epidemic completion time E[T] = ((n-1)/n) H_{n-1}.
+inline double epidemic_expected_time(std::uint64_t n) {
+  POPS_REQUIRE(n >= 2, "epidemic needs n >= 2");
+  const double nd = static_cast<double>(n);
+  return (nd - 1.0) / nd * harmonic(n - 1);
+}
+
+/// Lemma A.1: Pr[T > αu ln n] < 4 n^{−αu/4 + 1}.
+inline double epidemic_upper_tail(std::uint64_t n, double alpha_u) {
+  return 4.0 * std::pow(static_cast<double>(n), -alpha_u / 4.0 + 1.0);
+}
+
+/// Corollary 3.4: epidemic among a = n/c agents; Pr[T > αu ln a] <
+/// a^{−(αu−4c)^2 / (12 c)}.
+inline double subpopulation_epidemic_tail(std::uint64_t a, double c, double alpha_u) {
+  POPS_REQUIRE(c >= 1.0, "Corollary 3.4 requires c >= 1");
+  const double exponent = -(alpha_u - 4.0 * c) * (alpha_u - 4.0 * c) / (12.0 * c);
+  return std::pow(static_cast<double>(a), exponent);
+}
+
+/// Lemma 3.2: Pr[| |A| − n/2 | >= a] <= 2 e^{−2a²/n} (both tails).
+inline double partition_deviation_tail(std::uint64_t n, double a) {
+  return 2.0 * std::exp(-2.0 * a * a / static_cast<double>(n));
+}
+
+/// Lemma 3.6: in time C ln n (C >= 3), with D = 2C + sqrt(12C),
+/// Pr[some agent has >= D ln n interactions] <= 1/n.  Returns D.
+inline double interaction_count_multiplier(double c) {
+  POPS_REQUIRE(c >= 3.0, "Lemma 3.6 requires C >= 3");
+  return 2.0 * c + std::sqrt(12.0 * c);
+}
+
+/// Lemma D.4 band for E[max of N 1/2-geometrics]:
+/// log N + 1 < E[M] < log N + 3/2 (N >= 50).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double x) const { return lo < x && x < hi; }
+};
+inline Interval lemma_d4_mean_band(std::uint64_t n) {
+  POPS_REQUIRE(n >= 50, "Lemma D.4 requires N >= 50");
+  const double logn = std::log2(static_cast<double>(n));
+  return {logn + 1.0, logn + 1.5};
+}
+
+/// Corollary D.6: Pr[|M − E[M]| >= λ] < 3.31 e^{−λ/2}.
+inline double max_geometric_concentration_tail(double lambda) {
+  return 3.31 * std::exp(-lambda / 2.0);
+}
+
+/// Lemma D.7: Pr[M >= 2 log N] < 1/N and Pr[M <= log N − log ln N] < 1/N.
+inline double lemma_d7_tail(std::uint64_t n) { return 1.0 / static_cast<double>(n); }
+
+/// Lemma D.8: S = sum of K i.i.d. maxima; Pr[|S − E[S]| >= t] <= 2 e^{K − t/4}.
+inline double sum_of_maxima_tail(std::uint64_t k, double t) {
+  return 2.0 * std::exp(static_cast<double>(k) - t / 4.0);
+}
+
+/// Corollary D.10: K >= 4 log N ⇒ Pr[|S/K − log N| >= 4.7] <= 2/N.
+inline double cor_d10_tail(std::uint64_t n) { return 2.0 / static_cast<double>(n); }
+
+/// Lemma E.1 (balls in bins): k initially-empty bins of n, m balls thrown;
+/// Pr[<= δk bins remain empty] < (2 δ e m / n)^{δk}, for 0 < δ <= 1/2.
+inline double balls_in_bins_tail(std::uint64_t n, std::uint64_t k, std::uint64_t m,
+                                 double delta) {
+  POPS_REQUIRE(delta > 0.0 && delta <= 0.5, "Lemma E.1 requires 0 < δ <= 1/2");
+  const double base = 2.0 * delta * std::exp(1.0) * static_cast<double>(m) /
+                      static_cast<double>(n);
+  return std::pow(base, delta * static_cast<double>(k));
+}
+
+/// Lemma E.2: state s with initial count k, worst-case consumption;
+/// Pr[∃t ∈ [0,T] count <= δk] <= (2 δ e^{3T})^{δk}.
+inline double consumption_tail(std::uint64_t k, double delta, double t) {
+  POPS_REQUIRE(delta > 0.0 && delta <= 0.5, "Lemma E.2 requires 0 < δ <= 1/2");
+  return std::pow(2.0 * delta * std::exp(3.0 * t), delta * static_cast<double>(k));
+}
+
+/// Corollary E.3: Pr[∃t ∈ [0,1] count of s <= k/81] <= 2^{−k/81}.
+inline double cor_e3_tail(std::uint64_t k) {
+  return std::exp2(-static_cast<double>(k) / 81.0);
+}
+
+/// Lemma 3.8 band: logSize2 ∈ [log n − log ln n, 2 log n + 1] w.h.p.
+inline Interval logsize2_band(std::uint64_t n) {
+  POPS_REQUIRE(n >= 3, "band needs n >= 3");
+  const double logn = std::log2(static_cast<double>(n));
+  const double loglnn = std::log2(std::log(static_cast<double>(n)));
+  return {logn - loglnn, 2.0 * logn + 1.0};
+}
+
+/// Theorem 3.1 error probability: estimate within 5.7 of log n w.p. >= 1 − 9/n.
+inline double thm31_error_tail(std::uint64_t n) { return 9.0 / static_cast<double>(n); }
+
+}  // namespace bounds
+}  // namespace pops

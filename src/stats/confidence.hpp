@@ -1,0 +1,49 @@
+// Confidence intervals for the Monte Carlo experiments.
+//
+// The benches compare empirical failure frequencies against the paper's
+// bounds; a Wilson score interval makes "0 failures in N trials" a
+// quantitative statement instead of a shrug.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/require.hpp"
+
+namespace pops {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials`, at z standard normal quantiles (z = 1.96 for 95%).
+inline ConfidenceInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                          double z = 1.96) {
+  POPS_REQUIRE(trials > 0, "need at least one trial");
+  POPS_REQUIRE(successes <= trials, "successes cannot exceed trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+/// Rule-of-three upper bound: 0 failures in N trials bounds the failure
+/// probability by ~3/N at 95% confidence.
+inline double rule_of_three(std::uint64_t trials) {
+  POPS_REQUIRE(trials > 0, "need at least one trial");
+  return 3.0 / static_cast<double>(trials);
+}
+
+/// Standard-error half-width for a sample mean (mean ± z·s/sqrt(n)).
+inline double mean_half_width(double stddev, std::uint64_t count, double z = 1.96) {
+  POPS_REQUIRE(count > 0, "need at least one sample");
+  return z * stddev / std::sqrt(static_cast<double>(count));
+}
+
+}  // namespace pops

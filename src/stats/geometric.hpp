@@ -1,0 +1,60 @@
+// Geometric random variables and maxima of geometric random variables.
+//
+// The paper's protocol rests entirely on the statistics of
+// M = max(G_1, ..., G_N) for i.i.d. 1/2-geometric G_i (Section D.2):
+//   * E[M] ∈ (log N + 1, log N + 3/2)                  (Lemma D.4)
+//   * Pr[M >= 2 log N] < 1/N, Pr[M <= log N − log ln N] < 1/N   (Lemma D.7)
+//   * Pr[|M − E[M]| >= λ] < 3.31 e^{−λ/2}               (Corollary D.6)
+// This header provides both a brute-force sampler (max over N draws) and an
+// exact O(1) inverse-CDF sampler used by the Monte Carlo benches (they are
+// cross-validated against each other in tests).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+
+namespace pops {
+
+/// Max of N i.i.d. 1/2-geometric RVs by brute force: O(N) RNG calls.
+inline std::uint32_t max_geometric_brute(std::uint64_t n, Rng& rng) {
+  POPS_REQUIRE(n >= 1, "need at least one variable");
+  std::uint32_t best = 0;
+  for (std::uint64_t i = 0; i < n; ++i) best = std::max(best, rng.geometric_fair());
+  return best;
+}
+
+/// Max of N i.i.d. 1/2-geometric RVs via the exact CDF
+/// Pr[M <= t] = (1 − 2^{−t})^N: draw U ~ Uniform(0,1) and return the smallest
+/// integer t with (1 − 2^{−t})^N >= U, i.e. t = ceil(−log2(1 − U^{1/N})).
+/// O(1) regardless of N — essential for Monte Carlo at N = 10^6+.
+inline std::uint32_t max_geometric_exact(std::uint64_t n, Rng& rng) {
+  POPS_REQUIRE(n >= 1, "need at least one variable");
+  for (;;) {
+    const double u = rng.uniform_double();
+    // log(u)/n then expm1 for numerical stability at large n:
+    // 1 - u^{1/n} = -expm1(log(u)/n).
+    const double one_minus_root = -std::expm1(std::log(u) / static_cast<double>(n));
+    if (one_minus_root <= 0.0) continue;  // u rounded to 1; redraw
+    const double t = std::ceil(-std::log2(one_minus_root));
+    return static_cast<std::uint32_t>(std::max(1.0, t));
+  }
+}
+
+/// Exact E[max of N 1/2-geometrics] by summing the survival function:
+/// E[M] = sum_{t>=0} Pr[M > t] = sum_{t>=0} (1 − (1 − 2^{−t})^N).
+/// Used by tests as ground truth for Lemma D.4's band.
+inline double max_geometric_mean_exact(std::uint64_t n) {
+  POPS_REQUIRE(n >= 1, "need at least one variable");
+  double mean = 0.0;
+  for (std::uint32_t t = 0;; ++t) {
+    const double p_gt = -std::expm1(static_cast<double>(n) * std::log1p(-std::exp2(-static_cast<double>(t))));
+    mean += p_gt;
+    if (p_gt < 1e-15 && t > 1) break;
+  }
+  return mean;
+}
+
+}  // namespace pops

@@ -1,0 +1,28 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pops {
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%8.3f, %8.3f) %8llu ", bin_lo(i), bin_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0) out += "overflow: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace pops

@@ -1,0 +1,54 @@
+// Fixed-bin histogram for reporting result distributions in benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/require.hpp"
+
+namespace pops {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+    POPS_REQUIRE(hi > lo, "histogram needs hi > lo");
+    POPS_REQUIRE(bins >= 1, "histogram needs at least one bin");
+  }
+
+  void add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x >= hi_) {
+      ++overflow_;
+    } else {
+      const auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                                static_cast<double>(counts_.size()));
+      ++counts_[bin];
+    }
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// ASCII rendering, one line per bin, bar length proportional to count.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace pops

@@ -1,0 +1,62 @@
+// Streaming and batch summary statistics for experiment results.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/require.hpp"
+
+namespace pops {
+
+/// Welford-style streaming accumulator: count, mean, variance, min, max.
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// q-quantile (0 <= q <= 1) of a sample, by sorting a copy; linear
+/// interpolation between order statistics.
+inline double quantile(std::vector<double> xs, double q) {
+  POPS_REQUIRE(!xs.empty(), "quantile of empty sample");
+  POPS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile index out of [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+inline double mean_of(const std::vector<double>& xs) {
+  Summary s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+}  // namespace pops

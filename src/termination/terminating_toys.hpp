@@ -1,0 +1,137 @@
+// Uniform dense protocols that *try* to delay a termination signal
+// (illustrations of Theorem 4.1).
+//
+// Theorem 4.1: a uniform κ-t-terminating protocol whose valid initial
+// configurations are i.o.-dense has t(n) = O(1) — the signal cannot be
+// delayed past constant time, no matter the state space.  These toy
+// protocols are the natural attempts a designer might make, and the TERM
+// bench shows each one's first-signal time is flat (or decreasing!) in n,
+// while the leader-driven protocol of Theorem 3.13 delays the signal for
+// Θ(log² n):
+//
+//   * `FixedCountTrigger`  — terminate after T own-interactions.  Uniform ⇒ T
+//     cannot depend on n; the first agent reaches T at time ≈ T/2 = O(1).
+//   * `HeadsRunTrigger`    — terminate after r consecutive heads.  Some agent
+//     succeeds in time O(2^r / n): *decreasing* in n.
+//   * `GeometricTrigger`   — terminate if the initial geometric draw exceeds
+//     g.  Pr[some agent triggers at birth] = 1 − (1 − 2^{−g})^n → 1.
+//
+// Each also exists as a `FiniteSpec` factory (counter chain + signal state)
+// so the producibility closure of Lemma 4.2 can be computed for it.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/agent_simulation.hpp"
+#include "sim/finite_spec.hpp"
+
+namespace pops {
+
+/// Terminate after a fixed number of own-interactions; signal spreads by
+/// epidemic.
+struct FixedCountTrigger {
+  std::uint32_t threshold = 50;
+
+  struct State {
+    std::uint32_t count = 0;
+    bool terminated = false;
+  };
+
+  State initial(Rng&) const { return State{}; }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    tick(receiver);
+    tick(sender);
+    if (receiver.terminated || sender.terminated) {
+      receiver.terminated = true;
+      sender.terminated = true;
+    }
+  }
+
+  void tick(State& s) const {
+    ++s.count;
+    if (s.count >= threshold) s.terminated = true;
+  }
+};
+static_assert(AgentProtocol<FixedCountTrigger>);
+
+/// Terminate after a run of `run_length` consecutive heads.
+struct HeadsRunTrigger {
+  std::uint32_t run_length = 12;
+
+  struct State {
+    std::uint32_t run = 0;
+    bool terminated = false;
+  };
+
+  State initial(Rng&) const { return State{}; }
+
+  void interact(State& receiver, State& sender, Rng& rng) const {
+    flip(receiver, rng);
+    flip(sender, rng);
+    if (receiver.terminated || sender.terminated) {
+      receiver.terminated = true;
+      sender.terminated = true;
+    }
+  }
+
+  void flip(State& s, Rng& rng) const {
+    if (rng.coin()) {
+      if (++s.run >= run_length) s.terminated = true;
+    } else {
+      s.run = 0;
+    }
+  }
+};
+static_assert(AgentProtocol<HeadsRunTrigger>);
+
+/// Terminate if the agent's initial 1/2-geometric draw exceeds a threshold.
+struct GeometricTrigger {
+  std::uint32_t threshold = 20;
+
+  struct State {
+    bool terminated = false;
+  };
+
+  State initial(Rng& rng) const { return State{rng.geometric_fair() > threshold}; }
+
+  void interact(State& receiver, State& sender, Rng&) const {
+    if (receiver.terminated || sender.terminated) {
+      receiver.terminated = true;
+      sender.terminated = true;
+    }
+  }
+};
+static_assert(AgentProtocol<GeometricTrigger>);
+
+template <typename P>
+bool any_terminated(const AgentSimulation<P>& sim) {
+  for (const auto& a : sim.agents()) {
+    if (a.terminated) return true;
+  }
+  return false;
+}
+
+/// FiniteSpec version of FixedCountTrigger: states c0..c_{T} (c_T = the
+/// terminated signal "t"), every interaction increments both counters, and
+/// t infects.  All agents start in c0, so the initial configuration is
+/// 1-dense and the signal t ∈ Λ^T_1 — Lemma 4.2 applies with m = T.
+inline FiniteSpec fixed_count_trigger_spec(std::uint32_t threshold) {
+  FiniteSpec spec;
+  auto name = [&](std::uint32_t i) {
+    return i >= threshold ? std::string("t") : "c" + std::to_string(i);
+  };
+  for (std::uint32_t i = 0; i < threshold; ++i) {
+    for (std::uint32_t j = 0; j < threshold; ++j) {
+      spec.add(name(i), name(j), name(i + 1), name(j + 1));
+    }
+  }
+  // The signal infects: t, c_j → t, t  (and symmetric).
+  for (std::uint32_t j = 0; j < threshold; ++j) {
+    spec.add("t", name(j), "t", "t");
+    spec.add(name(j), "t", "t", "t");
+  }
+  return spec;
+}
+
+}  // namespace pops

@@ -1,0 +1,57 @@
+// Timer/density machinery of Appendix E (Lemmas E.1, E.2; Corollary E.3).
+//
+// Lemma E.2 bounds how fast a state can be *consumed*: with initial count k
+// and the worst-case assumption that every interaction touching an s-agent
+// consumes it, Pr[∃t ∈ [0,T]: count <= δk] <= (2 δ e^{3T})^{δk}.  Corollary
+// E.3 (δ = 1/81, T = 1) is the engine of Lemma 4.2's induction.  These
+// helpers run the worst-case consumption process and the balls-in-bins
+// process of Lemma E.1 so benches can compare empirical tail frequencies to
+// the closed-form bounds in stats/bounds.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+
+namespace pops {
+
+/// Worst-case consumption (proof of Lemma E.2): n agents, k of them in state
+/// s; every interaction converts any touched s-agent away from s.  Runs for
+/// `horizon` parallel time and returns the minimum count of s observed.
+inline std::uint64_t min_count_under_consumption(std::uint64_t n, std::uint64_t k,
+                                                 double horizon, Rng& rng) {
+  POPS_REQUIRE(n >= 2 && k <= n, "need 2 <= n and k <= n");
+  std::uint64_t remaining = k;
+  std::uint64_t min_seen = k;
+  const auto total = static_cast<std::uint64_t>(horizon * static_cast<double>(n));
+  for (std::uint64_t i = 0; i < total && remaining > 0; ++i) {
+    const auto [a, b] = rng.ordered_pair(n);
+    // Agents 0..remaining-1 hold s; consumed agents are relabeled by swapping
+    // with the boundary — only the count matters, so track the boundary.
+    std::uint64_t consumed = 0;
+    if (a < remaining) ++consumed;
+    if (b < remaining) ++consumed;
+    remaining -= consumed;
+    min_seen = std::min(min_seen, remaining);
+  }
+  return min_seen;
+}
+
+/// Lemma E.1 balls-in-bins: n bins, k initially empty, throw m balls; returns
+/// the number of bins still empty.  (Used to validate the Chernoff-style tail
+/// (2δem/n)^{δk} that drives Lemma E.2's stochastic domination.)
+inline std::uint64_t empty_bins_after_throws(std::uint64_t n, std::uint64_t k,
+                                             std::uint64_t m, Rng& rng) {
+  POPS_REQUIRE(n >= 1 && k <= n, "need k <= n");
+  std::uint64_t empty = k;
+  for (std::uint64_t i = 0; i < m && empty > 0; ++i) {
+    // A ball lands in one of the k tracked bins w.p. (#still-empty)/n to
+    // *fill* it; bins are exchangeable so only the count matters.
+    if (rng.below(n) < empty) --empty;
+  }
+  return empty;
+}
+
+}  // namespace pops

@@ -1,0 +1,112 @@
+// Tests for the closed-form bounds of stats/bounds.hpp: internal consistency,
+// known values, and monotonicity properties the paper's proofs rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bounds.hpp"
+
+namespace pops {
+namespace {
+
+TEST(Bounds, HarmonicKnownValues) {
+  EXPECT_DOUBLE_EQ(bounds::harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(bounds::harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(bounds::harmonic(2), 1.5);
+  EXPECT_NEAR(bounds::harmonic(100), 5.18737751763962, 1e-10);
+}
+
+TEST(Bounds, HarmonicAsymptoticMatchesDirectSum) {
+  // The asymptotic branch (n >= 1024) must agree with the direct sum.
+  double direct = 0.0;
+  for (int k = 1; k <= 5000; ++k) direct += 1.0 / k;
+  EXPECT_NEAR(bounds::harmonic(5000), direct, 1e-9);
+}
+
+TEST(Bounds, HarmonicSandwich) {
+  // ln n <= ((n-1)/n) H_{n-1} <= 1 + ln n (paper Section 3.2).
+  for (std::uint64_t n : {10ULL, 100ULL, 10000ULL}) {
+    const double v = (static_cast<double>(n - 1) / n) * bounds::harmonic(n - 1);
+    EXPECT_GE(v + 1e-12, std::log(static_cast<double>(n)));
+    EXPECT_LE(v, 1.0 + std::log(static_cast<double>(n)));
+  }
+}
+
+TEST(Bounds, EpidemicExpectedTimeNearLogN) {
+  // E[T] = ((n-1)/n) H_{n-1} ~ ln n.
+  const double t = bounds::epidemic_expected_time(100000);
+  EXPECT_NEAR(t, std::log(100000.0), 1.0);
+  EXPECT_THROW(bounds::epidemic_expected_time(1), std::invalid_argument);
+}
+
+TEST(Bounds, EpidemicTailDecreasesInAlpha) {
+  EXPECT_GT(bounds::epidemic_upper_tail(1000, 8.0), bounds::epidemic_upper_tail(1000, 16.0));
+  EXPECT_LT(bounds::epidemic_upper_tail(1000, 24.0), 1e-10);
+}
+
+TEST(Bounds, SubpopulationTailCorollary35) {
+  // Corollary 3.5: c = 3, alpha_u = 24 gives < 27 n^{-3} — in the a = n/3
+  // parametrization, a^{-(24-12)^2/36} = a^{-4}.
+  const double tail = bounds::subpopulation_epidemic_tail(1000, 3.0, 24.0);
+  EXPECT_NEAR(tail, std::pow(1000.0, -4.0), 1e-15);
+  EXPECT_THROW(bounds::subpopulation_epidemic_tail(10, 0.5, 8.0), std::invalid_argument);
+}
+
+TEST(Bounds, PartitionTailLemma32) {
+  // a = sqrt(n ln n) gives 2 e^{-2 ln n} = 2/n^2.
+  const double n = 10000;
+  const double a = std::sqrt(n * std::log(n));
+  EXPECT_NEAR(bounds::partition_deviation_tail(10000, a), 2.0 / (n * n), 1e-12);
+}
+
+TEST(Bounds, InteractionCountLemma36) {
+  // C = 24 gives D = 48 + sqrt(288) ~ 64.97 <= 65 (Corollary 3.7).
+  const double d = bounds::interaction_count_multiplier(24.0);
+  EXPECT_GT(d, 64.9);
+  EXPECT_LT(d, 65.0);
+  EXPECT_THROW(bounds::interaction_count_multiplier(2.0), std::invalid_argument);
+}
+
+TEST(Bounds, LemmaD4Band) {
+  const auto band = bounds::lemma_d4_mean_band(1024);
+  EXPECT_DOUBLE_EQ(band.lo, 11.0);
+  EXPECT_DOUBLE_EQ(band.hi, 11.5);
+  EXPECT_THROW(bounds::lemma_d4_mean_band(10), std::invalid_argument);
+}
+
+TEST(Bounds, SumOfMaximaTailLemmaD8) {
+  // t = aK with a = 4.7 > 4: bound = 2 e^{K(1 - a/4)} shrinks with K.
+  const double b1 = bounds::sum_of_maxima_tail(10, 47.0);
+  const double b2 = bounds::sum_of_maxima_tail(40, 188.0);
+  EXPECT_GT(b1, b2);
+  EXPECT_LT(b2, 1e-2);
+}
+
+TEST(Bounds, BallsInBinsLemmaE1) {
+  // delta = 1/81, m = 3n: base = 2*(1/81)*e*3 ~ 0.2013 < 1.
+  const double tail = bounds::balls_in_bins_tail(1000, 500, 3000, 1.0 / 81.0);
+  EXPECT_LT(tail, std::pow(0.21, 500.0 / 81.0));
+  EXPECT_THROW(bounds::balls_in_bins_tail(10, 5, 10, 0.7), std::invalid_argument);
+}
+
+TEST(Bounds, ConsumptionCorollaryE3Consistency) {
+  // Corollary E.3 is Lemma E.2 at delta = 1/81, T = 1; the lemma's value
+  // must be below the corollary's simplified 2^{-k/81}.
+  for (std::uint64_t k : {81ULL, 810ULL, 8100ULL}) {
+    EXPECT_LE(bounds::consumption_tail(k, 1.0 / 81.0, 1.0), bounds::cor_e3_tail(k) + 1e-15)
+        << "k=" << k;
+  }
+}
+
+TEST(Bounds, LogSize2BandLemma38) {
+  const auto band = bounds::logsize2_band(1024);
+  EXPECT_NEAR(band.lo, 10.0 - std::log2(std::log(1024.0)), 1e-12);
+  EXPECT_NEAR(band.hi, 21.0, 1e-12);
+}
+
+TEST(Bounds, Thm31ErrorTail) {
+  EXPECT_DOUBLE_EQ(bounds::thm31_error_tail(900), 0.01);
+}
+
+}  // namespace
+}  // namespace pops

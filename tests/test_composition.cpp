@@ -1,0 +1,179 @@
+// Tests for the composition framework (§1.1) and its two downstream demos:
+// uniform leader election and uniform majority.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/composition.hpp"
+#include "core/uniform_leader_election.hpp"
+#include "core/uniform_majority.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+namespace {
+
+// -- plumbing: a trivial stage protocol recording its callbacks -------------
+struct RecordingStage {
+  struct State {
+    std::uint32_t restarts = 0;
+    std::uint32_t stages_entered = 0;
+    std::uint32_t last_estimate = 0;
+  };
+  State initial(Rng&) const { return State{}; }
+  void restart(State& s, std::uint32_t estimate, Rng&) const {
+    ++s.restarts;
+    s.stages_entered = 0;
+    s.last_estimate = estimate;
+  }
+  void advance_stage(State& s, std::uint32_t, Rng&) const { ++s.stages_entered; }
+  void interact(State&, std::uint32_t, State&, std::uint32_t, Rng&) const {}
+};
+static_assert(StageProtocol<RecordingStage>);
+
+using RecSim = AgentSimulation<Composed<RecordingStage>>;
+
+TEST(Composition, EstimateAgreesAcrossPopulationAndRestartsFire) {
+  Composed<RecordingStage> proto{RecordingStage{}};
+  RecSim sim(proto, 512, 1);
+  sim.advance_time(200.0);
+  const auto s0 = sim.agent(0).s;
+  std::uint64_t restarted = 0;
+  for (const auto& a : sim.agents()) {
+    EXPECT_EQ(a.s, s0) << "weak estimate must reach consensus";
+    restarted += a.down.restarts > 0 ? 1 : 0;
+  }
+  // Nearly everyone adopted a larger estimate at least once.
+  EXPECT_GE(restarted, sim.population_size() / 2);
+}
+
+TEST(Composition, StagesAdvanceToTarget) {
+  Composed<RecordingStage> proto{RecordingStage{}};
+  RecSim sim(proto, 256, 3);
+  const double t = sim.run_until(
+      [](const RecSim& s) { return clock_finished(s); }, 25.0, 1e6);
+  ASSERT_GE(t, 0.0);
+  for (const auto& a : sim.agents()) {
+    EXPECT_EQ(a.clock.stage, sim.protocol().num_stages(a));
+  }
+}
+
+TEST(Composition, EveryStageEnteredExactlyOncePostRestart) {
+  Composed<RecordingStage> proto{RecordingStage{}};
+  RecSim sim(proto, 256, 5);
+  ASSERT_GE(sim.run_until([](const RecSim& s) { return clock_finished(s); }, 25.0, 1e6),
+            0.0);
+  for (const auto& a : sim.agents()) {
+    EXPECT_EQ(a.down.stages_entered, sim.protocol().num_stages(a))
+        << "each stage should trigger advance_stage exactly once";
+  }
+}
+
+TEST(Composition, StageDurationScalesWithEstimate) {
+  Composed<RecordingStage> proto{RecordingStage{}};
+  // Threshold = clock_multiplier * s own-interactions; stages take
+  // ~threshold/2 parallel time.  Just sanity-check the accessors.
+  Composed<RecordingStage>::State st;
+  st.s = 10;
+  EXPECT_EQ(proto.stage_threshold(st), 240u);
+  EXPECT_EQ(proto.num_stages(st), 60u);
+}
+
+// -- uniform leader election ------------------------------------------------
+
+TEST(UniformLeaderElection, ElectsExactlyOneLeaderWhp) {
+  constexpr int kTrials = 10;
+  int exactly_one = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto proto = make_uniform_leader_election();
+    AgentSimulation<UniformLeaderElection> sim(proto, 512, trial_seed(11, trial));
+    const double t = sim.run_until(
+        [](const AgentSimulation<UniformLeaderElection>& s) {
+          return clock_finished(s) && count_contenders(s) == 1;
+        },
+        25.0, 2e5);
+    if (t >= 0.0) ++exactly_one;
+  }
+  EXPECT_GE(exactly_one, kTrials - 1);
+}
+
+TEST(UniformLeaderElection, AtLeastOneContenderAlways) {
+  auto proto = make_uniform_leader_election();
+  AgentSimulation<UniformLeaderElection> sim(proto, 256, 13);
+  for (int i = 0; i < 100; ++i) {
+    sim.advance_time(50.0);
+    EXPECT_GE(count_contenders(sim), 1u);
+  }
+}
+
+TEST(UniformLeaderElection, WinnerHoldsMaximumBitstring) {
+  auto proto = make_uniform_leader_election();
+  AgentSimulation<UniformLeaderElection> sim(proto, 256, 17);
+  ASSERT_GE(sim.run_until(
+                [](const AgentSimulation<UniformLeaderElection>& s) {
+                  return clock_finished(s) && count_contenders(s) == 1;
+                },
+                25.0, 2e5),
+            0.0);
+  u128 global_best = 0;
+  for (const auto& a : sim.agents()) global_best = std::max(global_best, a.down.best);
+  for (const auto& a : sim.agents()) {
+    if (a.down.contender) {
+      EXPECT_TRUE(a.down.own == global_best);
+    }
+  }
+}
+
+// -- uniform majority ---------------------------------------------------------
+
+TEST(UniformMajority, ClearMajorityWins) {
+  constexpr std::uint64_t kN = 500;
+  constexpr int kTrials = 8;
+  int correct = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto proto = make_uniform_majority();
+    AgentSimulation<UniformMajority> sim(proto, kN, trial_seed(19, trial));
+    assign_votes(sim, kN * 60 / 100);  // 60% vote +1
+    sim.run_until([](const AgentSimulation<UniformMajority>& s) { return clock_finished(s); },
+                  25.0, 2e5);
+    sim.advance_time(200.0);  // let outputs spread
+    if (output_agreement(sim, +1) == 1.0) ++correct;
+  }
+  EXPECT_GE(correct, kTrials - 1);
+}
+
+TEST(UniformMajority, MinoritySignDoesNotSurviveTokens) {
+  constexpr std::uint64_t kN = 400;
+  auto proto = make_uniform_majority();
+  AgentSimulation<UniformMajority> sim(proto, kN, 23);
+  assign_votes(sim, kN * 65 / 100);
+  sim.run_until([](const AgentSimulation<UniformMajority>& s) { return clock_finished(s); },
+                25.0, 2e5);
+  sim.advance_time(200.0);
+  for (const auto& a : sim.agents()) {
+    EXPECT_NE(a.down.sign, -1) << "a minority token survived";
+  }
+}
+
+TEST(UniformMajority, SymmetricWorksBothWays) {
+  constexpr std::uint64_t kN = 400;
+  auto proto = make_uniform_majority();
+  AgentSimulation<UniformMajority> sim(proto, kN, 29);
+  assign_votes(sim, kN * 35 / 100);  // -1 is the majority now
+  sim.run_until([](const AgentSimulation<UniformMajority>& s) { return clock_finished(s); },
+                25.0, 2e5);
+  sim.advance_time(200.0);
+  EXPECT_GT(output_agreement(sim, -1), 0.95);
+}
+
+TEST(UniformMajority, VoteAssignmentHelper) {
+  auto proto = make_uniform_majority();
+  AgentSimulation<UniformMajority> sim(proto, 10, 31);
+  assign_votes(sim, 4);
+  std::uint64_t plus = 0;
+  for (const auto& a : sim.agents()) plus += a.down.input == +1 ? 1 : 0;
+  EXPECT_EQ(plus, 4u);
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,121 @@
+// Tests for the exact-counting backup (paper Section 3.3): the merge
+// machinery's mass conservation, the final binary-representation invariant,
+// and the probability-1 upper-bound property kex >= log2 n.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "harness/trials.hpp"
+#include "proto/exact_counting.hpp"
+#include "proto/max_geometric_estimate.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+namespace {
+
+using Sim = AgentSimulation<ExactCountingBackup>;
+
+TEST(ExactCounting, MassIsConserved) {
+  // sum over level-agents of 2^level == n at all times.
+  Sim sim(ExactCountingBackup{}, 100, 1);
+  for (int i = 0; i < 50; ++i) {
+    sim.steps(100);
+    std::uint64_t mass = 0;
+    for (const auto& a : sim.agents()) {
+      if (a.is_level) mass += std::uint64_t{1} << a.level;
+    }
+    EXPECT_EQ(mass, 100u);
+  }
+}
+
+// The ℓ-level multiset has stabilized once no two ℓ agents share a level.
+bool levels_stable(const Sim& sim) {
+  std::map<std::uint32_t, int> level_counts;
+  for (const auto& a : sim.agents()) {
+    if (a.is_level && ++level_counts[a.level] > 1) return false;
+  }
+  return true;
+}
+
+TEST(ExactCounting, StabilizesToBinaryRepresentation) {
+  for (std::uint64_t n : {37ULL, 64ULL, 100ULL, 255ULL}) {
+    Sim sim(ExactCountingBackup{}, n, 17 + n);
+    const double t = sim.run_until(
+        [](const Sim& s) { return converged(s) && levels_stable(s); }, 5.0, 1e6);
+    ASSERT_GE(t, 0.0) << "n=" << n;
+    // Final level-agents have distinct levels forming the binary rep of n.
+    std::map<std::uint32_t, int> level_counts;
+    for (const auto& a : sim.agents()) {
+      if (a.is_level) ++level_counts[a.level];
+    }
+    std::uint64_t mass = 0;
+    for (const auto& [level, count] : level_counts) {
+      EXPECT_EQ(count, 1) << "level " << level << " duplicated at n=" << n;
+      mass += std::uint64_t{1} << level;
+    }
+    EXPECT_EQ(mass, n);
+  }
+}
+
+TEST(ExactCounting, EstimateIsUpperBoundOnLogN) {
+  // kex = best + 1 >= log2 n once converged, and 2^{kex-1} <= n <= 2^{kex}.
+  for (std::uint64_t n : {10ULL, 31ULL, 32ULL, 33ULL, 200ULL}) {
+    Sim sim(ExactCountingBackup{}, n, 23 + n);
+    ASSERT_GE(sim.run_until([](const Sim& s) { return converged(s); }, 5.0, 1e6), 0.0);
+    const double logn = std::log2(static_cast<double>(n));
+    for (const auto& a : sim.agents()) {
+      const auto kex = ExactCountingBackup::estimate(a);
+      EXPECT_GE(static_cast<double>(kex), logn) << "n=" << n;
+      EXPECT_LE(static_cast<double>(kex), logn + 1.0 + 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(ExactCounting, BestApproachesFromBelow) {
+  // `best` is monotone nondecreasing for every agent.
+  Sim sim(ExactCountingBackup{}, 128, 29);
+  std::vector<std::uint32_t> last(128, 0);
+  for (int i = 0; i < 100; ++i) {
+    sim.steps(200);
+    for (std::uint64_t j = 0; j < 128; ++j) {
+      EXPECT_GE(sim.agent(j).best, last[j]);
+      last[j] = sim.agent(j).best;
+    }
+  }
+}
+
+TEST(ExactCounting, PowerOfTwoReachesExactLog) {
+  Sim sim(ExactCountingBackup{}, 64, 31);
+  ASSERT_GE(sim.run_until([](const Sim& s) { return converged(s); }, 5.0, 1e6), 0.0);
+  for (const auto& a : sim.agents()) {
+    EXPECT_EQ(a.best, 6u);
+    EXPECT_EQ(ExactCountingBackup::estimate(a), 7u);
+  }
+}
+
+TEST(MaxGeometricBaseline, ConvergesToCommonEstimateInBand) {
+  // The Alistarh et al. baseline: after O(log n) time all agents share
+  // max-of-geometrics, within [log n - log ln n, 2 log n] w.h.p.
+  constexpr std::uint64_t kN = 2048;
+  int in_band = 0;
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    AgentSimulation<MaxGeometricEstimate> sim(MaxGeometricEstimate{}, kN,
+                                              trial_seed(41, trial));
+    const double t = sim.run_until(
+        [](const AgentSimulation<MaxGeometricEstimate>& s) { return converged(s); }, 1.0,
+        1e5);
+    ASSERT_GE(t, 0.0);
+    EXPECT_LT(t, 24.0 * std::log(static_cast<double>(kN)));
+    const double est = sim.agent(0).estimate;
+    const double logn = std::log2(static_cast<double>(kN));
+    if (est >= logn - std::log2(std::log(static_cast<double>(kN))) && est <= 2.0 * logn) {
+      ++in_band;
+    }
+  }
+  EXPECT_GE(in_band, kTrials - 2);  // Lemma D.7: failures ~ 2/N per trial
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,140 @@
+// Tests for maxima of geometric random variables (paper Section D.2):
+// the exact sampler vs brute force, Lemma D.4's expectation band, Lemma D.7
+// tails, Corollary D.6 concentration, and Corollary D.10 averaging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "stats/bounds.hpp"
+#include "stats/geometric.hpp"
+#include "stats/summary.hpp"
+
+namespace pops {
+namespace {
+
+TEST(MaxGeometric, BruteAndExactAgreeInDistribution) {
+  // Compare empirical means and a tail atom of the two samplers at N = 64.
+  Rng rng(1);
+  constexpr int kTrials = 20000;
+  Summary brute, exact;
+  int brute_tail = 0, exact_tail = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto b = max_geometric_brute(64, rng);
+    const auto e = max_geometric_exact(64, rng);
+    brute.add(b);
+    exact.add(e);
+    brute_tail += b >= 10 ? 1 : 0;
+    exact_tail += e >= 10 ? 1 : 0;
+  }
+  EXPECT_NEAR(brute.mean(), exact.mean(), 0.05);
+  EXPECT_NEAR(static_cast<double>(brute_tail) / kTrials,
+              static_cast<double>(exact_tail) / kTrials, 0.01);
+}
+
+TEST(MaxGeometric, ExactMeanMatchesClosedForm) {
+  // Monte Carlo mean of the exact sampler vs the survival-sum ground truth.
+  Rng rng(2);
+  for (std::uint64_t n : {50ULL, 1000ULL, 100000ULL}) {
+    Summary s;
+    for (int i = 0; i < 30000; ++i) s.add(max_geometric_exact(n, rng));
+    EXPECT_NEAR(s.mean(), max_geometric_mean_exact(n), 0.06) << "N=" << n;
+  }
+}
+
+TEST(MaxGeometric, LemmaD4MeanBand) {
+  // log N + 1 < E[M] < log N + 3/2 for N >= 50 (Lemma D.4).
+  for (std::uint64_t n : {50ULL, 100ULL, 1000ULL, 10000ULL, 1000000ULL}) {
+    const double mean = max_geometric_mean_exact(n);
+    const auto band = bounds::lemma_d4_mean_band(n);
+    EXPECT_TRUE(band.contains(mean))
+        << "N=" << n << " mean=" << mean << " band=[" << band.lo << "," << band.hi << "]";
+  }
+}
+
+TEST(MaxGeometric, LemmaD7UpperTail) {
+  // Pr[M >= 2 log N] < 1/N.  The paper computes Pr[G >= t] as 2^{-t}; with
+  // the support-{1,2,...} convention it is 2^{-(t-1)}, so the clean bound
+  // holds at threshold 2 log N + 1.  We test at 2 log N + 2 to leave room
+  // for Monte Carlo noise (true p ~ 1/(2N) there).
+  Rng rng(3);
+  constexpr std::uint64_t kN = 256;  // log N = 8
+  constexpr int kTrials = 200000;
+  int over = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (max_geometric_exact(kN, rng) >= 18) ++over;
+  }
+  const double freq = static_cast<double>(over) / kTrials;
+  EXPECT_LT(freq, bounds::lemma_d7_tail(kN));
+}
+
+TEST(MaxGeometric, LemmaD7LowerTail) {
+  // Pr[M <= log N - log ln N] < 1/N.
+  Rng rng(4);
+  constexpr std::uint64_t kN = 1024;  // log N = 10, ln N ~ 6.93, log ln N ~ 2.79
+  constexpr int kTrials = 200000;
+  const double cutoff = 10.0 - std::log2(std::log(1024.0));
+  int under = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (static_cast<double>(max_geometric_exact(kN, rng)) <= cutoff) ++under;
+  }
+  const double freq = static_cast<double>(under) / kTrials;
+  EXPECT_LT(freq, bounds::lemma_d7_tail(kN));
+}
+
+TEST(MaxGeometric, CorollaryD6Concentration) {
+  // Pr[|M - E[M]| >= lambda] < 3.31 e^{-lambda/2}.
+  Rng rng(5);
+  constexpr std::uint64_t kN = 4096;
+  const double mean = max_geometric_mean_exact(kN);
+  constexpr int kTrials = 100000;
+  for (double lambda : {3.0, 5.0, 8.0}) {
+    int out = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      const double m = max_geometric_exact(kN, rng);
+      if (std::abs(m - mean) >= lambda) ++out;
+    }
+    const double freq = static_cast<double>(out) / kTrials;
+    EXPECT_LT(freq, bounds::max_geometric_concentration_tail(lambda)) << "lambda=" << lambda;
+  }
+}
+
+TEST(MaxGeometric, CorollaryD10AverageOfMaxima) {
+  // K >= 4 log N => Pr[|S/K - log N| >= 4.7] <= 2/N.
+  Rng rng(6);
+  constexpr std::uint64_t kN = 512;  // log N = 9
+  const std::uint64_t k = 4 * 9;
+  constexpr int kTrials = 20000;
+  int bad = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    double sum = 0.0;
+    for (std::uint64_t j = 0; j < k; ++j) sum += max_geometric_exact(kN, rng);
+    if (std::abs(sum / static_cast<double>(k) - 9.0) >= 4.7) ++bad;
+  }
+  const double freq = static_cast<double>(bad) / kTrials;
+  EXPECT_LE(freq, bounds::cor_d10_tail(kN));
+}
+
+TEST(MaxGeometric, AverageOfManyMaximaConcentratesNearLogNPlusDelta) {
+  // E[M] ~ log N + delta0 with delta0 in (1, 1.5): the average of many maxima
+  // should land in that band (this is what the protocol's output exploits).
+  Rng rng(7);
+  constexpr std::uint64_t kN = 100000;
+  const double logn = std::log2(static_cast<double>(kN));
+  double sum = 0.0;
+  constexpr int kK = 4000;
+  for (int i = 0; i < kK; ++i) sum += max_geometric_exact(kN, rng);
+  const double avg = sum / kK;
+  EXPECT_GT(avg, logn + 0.9);
+  EXPECT_LT(avg, logn + 1.6);
+}
+
+TEST(MaxGeometric, RejectsZeroVariables) {
+  Rng rng(8);
+  EXPECT_THROW(max_geometric_brute(0, rng), std::invalid_argument);
+  EXPECT_THROW(max_geometric_exact(0, rng), std::invalid_argument);
+  EXPECT_THROW(max_geometric_mean_exact(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,89 @@
+// Empirical validation of Lemma 3.6 / Corollary 3.7 — the concentration of
+// per-agent interaction counts that makes the leaderless phase clock safe:
+// in time C ln n (C >= 3), w.p. >= 1 − 1/n no agent has more than
+// D ln n = (2C + sqrt(12C)) ln n interactions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "stats/bounds.hpp"
+#include "stats/summary.hpp"
+
+namespace pops {
+namespace {
+
+struct InteractionCounter {
+  struct State {
+    std::uint64_t count = 0;
+  };
+  State initial(Rng&) const { return State{}; }
+  void interact(State& receiver, State& sender, Rng&) const {
+    ++receiver.count;
+    ++sender.count;
+  }
+};
+static_assert(AgentProtocol<InteractionCounter>);
+
+std::uint64_t max_interactions_after(std::uint64_t n, double time, std::uint64_t seed) {
+  AgentSimulation<InteractionCounter> sim(InteractionCounter{}, n, seed);
+  sim.advance_time(time);
+  std::uint64_t mx = 0;
+  for (const auto& a : sim.agents()) mx = std::max(mx, a.count);
+  return mx;
+}
+
+TEST(Lemma36, NoAgentExceedsDLnN) {
+  // C = 3 => D = 6 + 6 = 12: in 3 ln n time, max count <= 12 ln n across all
+  // trials (the 1/n failure probability makes violations essentially
+  // unobservable at n = 2000 over 20 trials).
+  constexpr std::uint64_t kN = 2000;
+  const double lnn = std::log(static_cast<double>(kN));
+  const double d = bounds::interaction_count_multiplier(3.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mx = max_interactions_after(kN, 3.0 * lnn, trial_seed(0x36, trial));
+    EXPECT_LE(static_cast<double>(mx), d * lnn) << "trial " << trial;
+  }
+}
+
+TEST(Lemma36, MeanPerAgentIsTwoPerTimeUnit) {
+  // Each interaction touches 2 of n agents: E[count] = 2t.
+  constexpr std::uint64_t kN = 1000;
+  AgentSimulation<InteractionCounter> sim(InteractionCounter{}, kN, 7);
+  sim.advance_time(50.0);
+  Summary s;
+  for (const auto& a : sim.agents()) s.add(static_cast<double>(a.count));
+  EXPECT_NEAR(s.mean(), 100.0, 0.001);  // exactly 2t on average by counting
+  EXPECT_NEAR(s.stddev(), 10.0, 2.5);   // ~Poisson(100) fluctuation
+}
+
+TEST(Corollary37, ProtocolThreshold95CoversEpochWork) {
+  // Corollary 3.7's role in the protocol: in the 24 ln n time an epidemic
+  // w.h.p. needs, no agent accumulates 95 log n interactions (65 ln n <=
+  // 94 log n is the paper's margin).  Verify the margin empirically.
+  constexpr std::uint64_t kN = 4096;
+  const double lnn = std::log(static_cast<double>(kN));
+  const double logn = std::log2(static_cast<double>(kN));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto mx = max_interactions_after(kN, 24.0 * lnn, trial_seed(0x37, trial));
+    EXPECT_LT(static_cast<double>(mx), 95.0 * logn) << "trial " << trial;
+  }
+}
+
+TEST(Lemma36, MaxCountGrowsWithTimeNotN) {
+  // The max interaction count in C ln n time scales with ln n (not n): the
+  // ratio of maxima at n vs 16n should be ~ ln(16n)/ln(n), far below 2.
+  Summary small, large;
+  for (int trial = 0; trial < 5; ++trial) {
+    small.add(static_cast<double>(
+        max_interactions_after(512, 3.0 * std::log(512.0), trial_seed(0x38, trial))));
+    large.add(static_cast<double>(
+        max_interactions_after(8192, 3.0 * std::log(8192.0), trial_seed(0x39, trial))));
+  }
+  EXPECT_LT(large.mean() / small.mean(), 2.0);
+  EXPECT_GT(large.mean(), small.mean());  // longer window => more interactions
+}
+
+}  // namespace
+}  // namespace pops

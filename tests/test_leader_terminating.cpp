@@ -1,0 +1,91 @@
+// Tests for the leader-driven terminating estimator (Theorem 3.13): the
+// signal appears only after the estimate has converged (w.h.p.), spreads to
+// all, and the reported value is accurate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/leader_terminating_estimation.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+namespace {
+
+using Sim = AgentSimulation<LeaderTerminatingEstimation>;
+
+Sim make_sim(std::uint64_t n, std::uint64_t seed,
+             LeaderTerminatingEstimation::Params params = {}) {
+  LeaderTerminatingEstimation proto(params);
+  Sim sim(proto, n, seed);
+  Rng rng(seed ^ 0xABCDEF);
+  sim.set_state(0, sim.protocol().make_leader(rng));
+  return sim;
+}
+
+TEST(LeaderTerminating, TerminatesAndSignalReachesEveryone) {
+  auto sim = make_sim(300, 1);
+  const double t_any =
+      sim.run_until([](const Sim& s) { return any_terminated(s); }, 25.0, 1e7);
+  ASSERT_GE(t_any, 0.0);
+  const double t_all =
+      sim.run_until([](const Sim& s) { return all_terminated(s); }, 5.0, 1e7);
+  ASSERT_GE(t_all, 0.0);
+  EXPECT_LE(t_all - t_any, 24.0 * std::log(300.0) + 30.0);  // epidemic spread
+}
+
+TEST(LeaderTerminating, EstimateConvergedBeforeTermination) {
+  // At the moment of first termination the estimation sub-protocol should
+  // already be done in (essentially) every agent — the clock's whole job.
+  constexpr int kTrials = 6;
+  int premature = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto sim = make_sim(400, trial_seed(3, trial));
+    ASSERT_GE(sim.run_until([](const Sim& s) { return any_terminated(s); }, 25.0, 1e7),
+              0.0);
+    std::uint64_t unfinished = 0;
+    for (const auto& a : sim.agents()) {
+      if (!a.est.protocol_done) ++unfinished;
+    }
+    if (unfinished > 0) ++premature;
+  }
+  EXPECT_LE(premature, 1) << "termination fired before estimation converged";
+}
+
+TEST(LeaderTerminating, EstimateAtTerminationIsAccurate) {
+  constexpr std::uint64_t kN = 512;
+  auto sim = make_sim(kN, 7);
+  ASSERT_GE(sim.run_until([](const Sim& s) { return all_terminated(s); }, 25.0, 1e7), 0.0);
+  // All agents share the output of the embedded estimator.
+  for (const auto& a : sim.agents()) {
+    ASSERT_TRUE(a.est.has_output);
+    EXPECT_NEAR(static_cast<double>(a.est.output), 9.0, 5.7);
+  }
+}
+
+TEST(LeaderTerminating, TerminationTimeGrowsWithN) {
+  // Theorem 3.13's clock delays the signal for Θ(log² n): time must grow
+  // with n (contrast with the dense toys of Theorem 4.1, which are flat).
+  auto time_to_signal = [](std::uint64_t n, std::uint64_t seed) {
+    auto sim = make_sim(n, seed);
+    const double t =
+        sim.run_until([](const Sim& s) { return any_terminated(s); }, 25.0, 1e7);
+    EXPECT_GE(t, 0.0);
+    return t;
+  };
+  const double t_small = time_to_signal(64, 11);
+  const double t_large = time_to_signal(2048, 13);
+  EXPECT_GT(t_large, 1.5 * t_small);
+}
+
+TEST(LeaderTerminating, NoLeaderMeansNoTermination) {
+  // Without the planted leader the clock never advances rounds, so no
+  // termination within a generous horizon.
+  LeaderTerminatingEstimation proto;
+  Sim sim(proto, 200, 17);  // nobody is a leader
+  sim.advance_time(20000.0);
+  EXPECT_FALSE(any_terminated(sim));
+}
+
+}  // namespace
+}  // namespace pops

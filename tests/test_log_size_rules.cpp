@@ -1,0 +1,197 @@
+// Unit-level pins for the disambiguated rules of Log-Size-Estimation
+// (DESIGN.md §4): each test drives interact() on crafted agent states and
+// asserts the exact rule the implementation commits to.  These are the
+// regression tests for the pseudocode-resolution decisions.
+#include <gtest/gtest.h>
+
+#include "core/log_size_estimation.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+namespace {
+
+using State = LogSizeEstimation::State;
+
+State make_a(std::uint32_t log_size2, std::uint32_t epoch = 0, std::uint32_t time = 0) {
+  State s;
+  s.role = Role::A;
+  s.log_size2 = log_size2;
+  s.epoch = epoch;
+  s.time = time;
+  return s;
+}
+
+State make_s(std::uint32_t log_size2, std::uint32_t epoch = 0, std::uint32_t sum = 0) {
+  State s;
+  s.role = Role::S;
+  s.log_size2 = log_size2;
+  s.epoch = epoch;
+  s.sum = sum;
+  return s;
+}
+
+TEST(LogSizeRules, DepositRequiresTimerAndMatchingEpoch) {
+  // DESIGN.md §4.1: time >= 95*logSize2, same epoch, not done, not deposited.
+  LogSizeEstimation proto;
+  Rng rng(1);
+  auto a = make_a(4, 2, 95 * 4);  // exactly at threshold
+  auto s = make_s(4, 2, 10);
+  const auto gr_before = a.gr;
+  proto.interact(a, s, rng);
+  EXPECT_EQ(s.epoch, 3u) << "deposit must advance the S epoch";
+  EXPECT_EQ(s.sum, 10u + gr_before);
+  EXPECT_TRUE(a.updated_sum);
+}
+
+TEST(LogSizeRules, NoDepositBeforeThreshold) {
+  LogSizeEstimation proto;
+  Rng rng(2);
+  auto a = make_a(4, 2, 10);  // far from 380
+  auto s = make_s(4, 2, 0);
+  proto.interact(a, s, rng);
+  EXPECT_EQ(s.epoch, 2u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_FALSE(a.updated_sum);
+}
+
+TEST(LogSizeRules, LaggingAgentSkipsItsDeposit) {
+  // a.epoch < s.epoch: the A marks updatedSUM without depositing (its epoch's
+  // value was already contributed by someone else).
+  LogSizeEstimation proto;
+  Rng rng(3);
+  auto a = make_a(4, 1, 95 * 4);
+  auto s = make_s(4, 3, 50);
+  proto.interact(a, s, rng);
+  EXPECT_EQ(s.sum, 50u);
+  EXPECT_EQ(s.epoch, 3u);
+  EXPECT_TRUE(a.updated_sum);
+}
+
+TEST(LogSizeRules, EpochAdvancesOnlyAfterDeposit) {
+  // The updatedSUM guard: an A past its threshold without a deposit must not
+  // advance its epoch on A-A interactions of equal epoch.
+  LogSizeEstimation proto;
+  Rng rng(4);
+  auto a = make_a(4, 2, 95 * 4 + 7);
+  auto b = make_a(4, 2, 95 * 4 + 9);
+  proto.interact(a, b, rng);
+  EXPECT_EQ(a.epoch, 2u);
+  EXPECT_EQ(b.epoch, 2u);
+  // After a deposit, the next tick advances.
+  a.updated_sum = true;
+  proto.interact(a, b, rng);
+  EXPECT_EQ(a.epoch, 3u);
+  EXPECT_EQ(a.time, 0u) << "Move-to-Next resets the epoch timer";
+  EXPECT_FALSE(a.updated_sum);
+}
+
+TEST(LogSizeRules, EqualEpochStorageAgentsTakeMaxSum) {
+  // DESIGN.md §4.2: prose rule "S agents propagate the maximum sum".
+  LogSizeEstimation proto;
+  Rng rng(5);
+  auto s1 = make_s(4, 3, 40);
+  auto s2 = make_s(4, 3, 55);
+  proto.interact(s1, s2, rng);
+  EXPECT_EQ(s1.sum, 55u);
+  EXPECT_EQ(s2.sum, 55u);
+}
+
+TEST(LogSizeRules, BehindStorageAgentAdoptsEpochAndSum) {
+  LogSizeEstimation proto;
+  Rng rng(6);
+  auto s1 = make_s(4, 1, 10);
+  auto s2 = make_s(4, 3, 55);
+  proto.interact(s1, s2, rng);
+  EXPECT_EQ(s1.epoch, 3u);
+  EXPECT_EQ(s1.sum, 55u);
+}
+
+TEST(LogSizeRules, CatchUpToFinalEpochMarksDone) {
+  // DESIGN.md §4.7: an A adopting epoch K must be done (else it would try a
+  // (K+1)-th deposit).
+  LogSizeEstimation proto;
+  Rng rng(7);
+  auto lag = make_a(4, 5 * 4 - 1, 3);
+  auto done = make_a(4, 5 * 4);
+  done.protocol_done = true;
+  proto.interact(lag, done, rng);
+  EXPECT_EQ(lag.epoch, 5u * 4u);
+  EXPECT_TRUE(lag.protocol_done);
+}
+
+TEST(LogSizeRules, StorageAgentFinalizesAndComputesOutput) {
+  // An S reaching epoch K publishes output = sum/epoch + 1.
+  LogSizeEstimation proto;
+  Rng rng(8);
+  auto a = make_a(4, 5 * 4 - 1, 95 * 4);
+  auto s = make_s(4, 5 * 4 - 1, 190);  // one deposit short of K = 20
+  proto.interact(a, s, rng);
+  EXPECT_EQ(s.epoch, 20u);
+  EXPECT_TRUE(s.protocol_done);
+  EXPECT_TRUE(s.has_output);
+  EXPECT_EQ(s.output, static_cast<std::int32_t>(s.sum / 20 + 1));
+}
+
+TEST(LogSizeRules, DoneAgentsShareMaxOutput) {
+  LogSizeEstimation proto;
+  Rng rng(9);
+  auto x = make_a(4, 20);
+  x.protocol_done = true;
+  x.has_output = true;
+  x.output = 9;
+  auto y = make_a(4, 20);
+  y.protocol_done = true;
+  y.has_output = true;
+  y.output = 11;
+  proto.interact(x, y, rng);
+  EXPECT_EQ(x.output, 11);
+  EXPECT_EQ(y.output, 11);
+}
+
+TEST(LogSizeRules, ClockValueAdoptionRestartsEverything) {
+  LogSizeEstimation proto;
+  Rng rng(10);
+  auto stale = make_s(3, 7, 99);
+  stale.protocol_done = true;
+  stale.has_output = true;
+  stale.output = 5;
+  auto fresh = make_a(8);
+  proto.interact(stale, fresh, rng);
+  EXPECT_EQ(stale.log_size2, 8u);
+  EXPECT_EQ(stale.epoch, 0u);
+  EXPECT_EQ(stale.sum, 0u);
+  EXPECT_FALSE(stale.protocol_done);
+  EXPECT_FALSE(stale.has_output);
+  EXPECT_EQ(stale.role, Role::S) << "restart never changes roles";
+}
+
+TEST(LogSizeRules, XAgentsAdoptClockValueButKeepNoRole) {
+  // Propagate-Max-Clock-Value applies to every pair, roles included X.
+  LogSizeEstimation proto;
+  Rng rng(11);
+  State x;  // role X, logSize2 = 1
+  auto a = make_a(6);
+  proto.interact(x, a, rng);
+  // The X receiver with an A sender becomes S (partition) and adopts 6.
+  EXPECT_EQ(x.role, Role::S);
+  EXPECT_EQ(x.log_size2, 6u);
+}
+
+TEST(LogSizeRules, FreshWorkerDrawsItsOwnClockValue) {
+  // An X becoming A via (S, X) draws logSize2 = geometric + 2 >= 3, possibly
+  // overwriting an adopted maximum (paper Subprotocol 2); the same
+  // interaction's clock propagation then reconciles the pair.
+  LogSizeEstimation proto;
+  Rng rng(12);
+  State x;
+  auto s = make_s(9);
+  proto.interact(x, s, rng);
+  EXPECT_EQ(x.role, Role::A);
+  EXPECT_GE(x.log_size2, 3u);
+  // After the same interaction, neither agent can hold less than the max the
+  // pair knew (clock propagation ran after partition).
+  EXPECT_EQ(std::max(x.log_size2, s.log_size2), std::max<std::uint32_t>(x.log_size2, 9u));
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,144 @@
+// Tests for the leader-driven phase clock ([9]; paper §3.4) and the
+// leaderless stage clock component (§3.1), plus leader-driven exact counting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/trials.hpp"
+#include "proto/leader_counting.hpp"
+#include "proto/leaderless_clock.hpp"
+#include "proto/phase_clock.hpp"
+#include "sim/agent_simulation.hpp"
+#include "stats/summary.hpp"
+
+namespace pops {
+namespace {
+
+TEST(LeaderPhaseClock, LeaderAdvancesPhases) {
+  AgentSimulation<LeaderPhaseClock> sim(LeaderPhaseClock{300}, 500, 1);
+  sim.set_state(0, LeaderPhaseClock::make_leader());
+  const double t = sim.run_until(
+      [](const AgentSimulation<LeaderPhaseClock>& s) {
+        return s.agent(0).increments >= 20;
+      },
+      5.0, 1e6);
+  EXPECT_GE(t, 0.0);
+}
+
+TEST(LeaderPhaseClock, PhaseAdvanceTimeScalesLikeLogN) {
+  // Each leader phase advance needs the announced phase to epidemic back to
+  // the leader: Θ(log n) time.  Compare n = 256 vs n = 4096 — ratio of
+  // per-advance times ~ ln ratio (1.5), clearly above 1 and below 3.5.
+  auto advance_time = [](std::uint64_t n, std::uint64_t seed) {
+    AgentSimulation<LeaderPhaseClock> sim(LeaderPhaseClock{300}, n, seed);
+    sim.set_state(0, LeaderPhaseClock::make_leader());
+    constexpr std::uint64_t kAdvances = 40;
+    const double t = sim.run_until(
+        [](const AgentSimulation<LeaderPhaseClock>& s) {
+          return s.agent(0).increments >= kAdvances;
+        },
+        5.0, 1e7);
+    EXPECT_GE(t, 0.0);
+    return t / static_cast<double>(kAdvances);
+  };
+  Summary small, large;
+  for (int i = 0; i < 5; ++i) {
+    small.add(advance_time(256, trial_seed(51, i)));
+    large.add(advance_time(4096, trial_seed(53, i)));
+  }
+  EXPECT_GT(large.mean(), 1.1 * small.mean());
+  EXPECT_LT(large.mean(), 3.5 * small.mean());
+}
+
+TEST(LeaderPhaseClock, FollowersStayWithinHalfCircle) {
+  // No follower should ever be more than m/2 ahead of the leader (they only
+  // catch up toward it).
+  constexpr std::uint32_t kM = 300;
+  AgentSimulation<LeaderPhaseClock> sim(LeaderPhaseClock{kM}, 200, 3);
+  sim.set_state(0, LeaderPhaseClock::make_leader());
+  for (int i = 0; i < 200; ++i) {
+    sim.steps(500);
+    const auto leader_phase = sim.agent(0).phase;
+    for (const auto& a : sim.agents()) {
+      const std::uint32_t ahead = (a.phase + kM - leader_phase) % kM;
+      EXPECT_TRUE(ahead == 0 || ahead > kM / 2)
+          << "follower ahead of leader by " << ahead;
+      if (ahead != 0 && ahead <= kM / 2) return;  // fail fast with context
+    }
+  }
+}
+
+TEST(StageClock, TickAdvancesAtThreshold) {
+  StageClock c;
+  EXPECT_FALSE(c.tick(3));
+  EXPECT_FALSE(c.tick(3));
+  EXPECT_TRUE(c.tick(3));
+  EXPECT_EQ(c.stage, 1u);
+  EXPECT_EQ(c.counter, 0u);
+}
+
+TEST(StageClock, CatchUpOnlyForward) {
+  StageClock a, b;
+  b.stage = 4;
+  EXPECT_TRUE(a.catch_up(b));
+  EXPECT_EQ(a.stage, 4u);
+  EXPECT_FALSE(b.catch_up(a));
+  EXPECT_FALSE(a.catch_up(b));
+}
+
+TEST(StageClock, ResetClearsEverything) {
+  StageClock c;
+  c.tick(1);
+  c.reset();
+  EXPECT_EQ(c.stage, 0u);
+  EXPECT_EQ(c.counter, 0u);
+}
+
+using LcSim = AgentSimulation<LeaderCounting>;
+
+TEST(LeaderCounting, CountsExactlyAndTerminates) {
+  for (std::uint64_t n : {50ULL, 200ULL}) {
+    LcSim sim(LeaderCounting{}, n, 61 + n);
+    sim.set_state(0, LeaderCounting::make_leader());
+    const double t = sim.run_until(
+        [](const LcSim& s) { return s.agent(0).terminated; }, 10.0, 1e7);
+    ASSERT_GE(t, 0.0);
+    EXPECT_EQ(sim.agent(0).count, n) << "leader census wrong at n=" << n;
+  }
+}
+
+TEST(LeaderCounting, TerminationSignalSpreads) {
+  LcSim sim(LeaderCounting{}, 100, 67);
+  sim.set_state(0, LeaderCounting::make_leader());
+  const double t = sim.run_until(
+      [](const LcSim& s) {
+        for (const auto& a : s.agents()) {
+          if (!a.terminated) return false;
+        }
+        return true;
+      },
+      10.0, 1e7);
+  EXPECT_GE(t, 0.0);
+}
+
+TEST(LeaderCounting, NoPrematureTerminationAcrossTrials) {
+  // With idle_factor 8 the leader should essentially never terminate before
+  // seeing everyone.
+  const auto counts = run_trials(20, 71, [](std::uint64_t seed, std::uint64_t) {
+    LcSim sim(LeaderCounting{}, 150, seed);
+    sim.set_state(0, LeaderCounting::make_leader());
+    EXPECT_GE(sim.run_until([](const LcSim& s) { return s.agent(0).terminated; }, 10.0, 1e7),
+              0.0);
+    return static_cast<double>(sim.agent(0).count);
+  });
+  for (double c : counts) EXPECT_EQ(c, 150.0);
+}
+
+TEST(LeaderCounting, IdleThresholdGrowsWithCount) {
+  LeaderCounting p;
+  EXPECT_LT(p.idle_threshold(10), p.idle_threshold(100));
+  EXPECT_GE(p.idle_threshold(1), 1u);
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,252 @@
+// Parameterized property suites (TEST_P / INSTANTIATE_TEST_SUITE_P): protocol
+// invariants checked across a sweep of population sizes and seeds.
+//
+// Each suite states an invariant of the system under test and asserts it at
+// many points of a running simulation, for every (n, seed) combination in the
+// instantiation — the property-testing layer on top of the unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/log_size_estimation.hpp"
+#include "core/synthetic_coin_estimation.hpp"
+#include "core/uniform_leader_election.hpp"
+#include "proto/exact_counting.hpp"
+#include "proto/partition.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+namespace {
+
+using Params = std::tuple<std::uint64_t /*n*/, std::uint64_t /*seed*/>;
+
+std::string param_name(const testing::TestParamInfo<Params>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+// ---------------------------------------------------------------------------
+// Log-Size-Estimation invariants.
+// ---------------------------------------------------------------------------
+class LogSizeInvariants : public testing::TestWithParam<Params> {};
+
+TEST_P(LogSizeInvariants, HoldThroughoutExecution) {
+  const auto [n, seed] = GetParam();
+  AgentSimulation<LogSizeEstimation> sim(LogSizeEstimation{}, n, seed);
+  const auto& proto = sim.protocol();
+
+  std::uint32_t last_max_logsize = 0;
+  bool was_converged = false;
+  for (int step = 0; step < 150; ++step) {
+    sim.advance_time(25.0);
+    std::uint32_t max_logsize = 0;
+    std::uint32_t min_logsize = ~std::uint32_t{0};
+    std::uint32_t max_s_epoch = 0;
+    std::uint32_t max_a_epoch = 0;
+    for (const auto& a : sim.agents()) {
+      // (1) role-specific field discipline: X agents never tick time.
+      if (a.role == Role::X) {
+        EXPECT_EQ(a.time, 0u);
+        EXPECT_EQ(a.epoch, 0u);
+      }
+      // (2) epoch never exceeds its target K = 5 * logSize2.
+      EXPECT_LE(a.epoch, proto.epoch_target(a));
+      // (3) a done agent is exactly at its target (or restarted to 0).
+      if (a.protocol_done) {
+        EXPECT_EQ(a.epoch, proto.epoch_target(a));
+      }
+      // (4) sum only lives on S agents and is bounded by epoch * max-gr.
+      if (a.role == Role::A) {
+        EXPECT_EQ(a.sum, 0u);
+      }
+      // (5) outputs only on done agents.
+      if (a.has_output) {
+        EXPECT_TRUE(a.protocol_done);
+      }
+      max_logsize = std::max(max_logsize, a.log_size2);
+      min_logsize = std::min(min_logsize, a.log_size2);
+      if (a.role == Role::S) max_s_epoch = std::max(max_s_epoch, a.epoch);
+      if (a.role == Role::A) max_a_epoch = std::max(max_a_epoch, a.epoch);
+    }
+    // (6) the global max logSize2 is monotone nondecreasing.
+    EXPECT_GE(max_logsize, last_max_logsize);
+    last_max_logsize = max_logsize;
+    // (7) S epochs lead A epochs by at most 1 (deposits advance S first).
+    // Only meaningful once all agents agree on logSize2 (during a restart
+    // wave, mixed regimes coexist transiently).
+    if (min_logsize == max_logsize && (max_s_epoch > 0 || max_a_epoch > 0)) {
+      EXPECT_LE(max_a_epoch, max_s_epoch + 1);
+    }
+    // (8) convergence is absorbing (it cannot un-converge).
+    const bool now = converged(sim);
+    if (was_converged) {
+      EXPECT_TRUE(now);
+    }
+    was_converged = now;
+    if (now && step > 3) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LogSizeInvariants,
+                         testing::Combine(testing::Values(16, 64, 256, 1024),
+                                          testing::Values(1, 2, 3)),
+                         param_name);
+
+// ---------------------------------------------------------------------------
+// Partition invariants.
+// ---------------------------------------------------------------------------
+class PartitionInvariants : public testing::TestWithParam<Params> {};
+
+TEST_P(PartitionInvariants, RolesOnlyFlowForward) {
+  const auto [n, seed] = GetParam();
+  AgentSimulation<PartitionProtocol> sim(PartitionProtocol{}, n, seed);
+  std::vector<Role> last(n, Role::X);
+  for (int step = 0; step < 60; ++step) {
+    sim.advance_time(1.0);
+    std::uint64_t x = 0, a = 0, s = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Role r = sim.agent(i).role;
+      // Once assigned, a role never changes; X only becomes A or S.
+      if (last[i] != Role::X) {
+        EXPECT_EQ(r, last[i]) << "role flip at agent " << i;
+      }
+      last[i] = r;
+      x += r == Role::X ? 1 : 0;
+      a += r == Role::A ? 1 : 0;
+      s += r == Role::S ? 1 : 0;
+    }
+    EXPECT_EQ(x + a + s, n);
+    // A and S appear in lockstep with the pairing rules: |counts differ| can
+    // drift but both are positive once any assignment happened.
+    if (a + s > 0) {
+      EXPECT_GE(a, 1u);
+      EXPECT_GE(s, 1u);
+    }
+    if (x == 0) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionInvariants,
+                         testing::Combine(testing::Values(8, 64, 512),
+                                          testing::Values(11, 12, 13)),
+                         param_name);
+
+// ---------------------------------------------------------------------------
+// Exact-counting invariants.
+// ---------------------------------------------------------------------------
+class ExactCountingInvariants : public testing::TestWithParam<Params> {};
+
+TEST_P(ExactCountingInvariants, MassAndMonotonicity) {
+  const auto [n, seed] = GetParam();
+  AgentSimulation<ExactCountingBackup> sim(ExactCountingBackup{}, n, seed);
+  std::vector<std::uint32_t> last_best(n, 0);
+  const std::uint32_t log_floor = [&] {
+    std::uint32_t e = 0;
+    while ((std::uint64_t{1} << (e + 1)) <= n) ++e;
+    return e;
+  }();
+  for (int step = 0; step < 80; ++step) {
+    sim.advance_time(static_cast<double>(n) / 8.0);
+    std::uint64_t mass = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto& st = sim.agent(i);
+      if (st.is_level) mass += std::uint64_t{1} << st.level;
+      // best is monotone and never exceeds floor(log2 n).
+      EXPECT_GE(st.best, last_best[i]);
+      EXPECT_LE(st.best, log_floor);
+      last_best[i] = st.best;
+      // f agents' subscript never exceeds the max producible merge level.
+      EXPECT_LE(st.level, log_floor);
+    }
+    EXPECT_EQ(mass, n) << "2^level mass must be conserved";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactCountingInvariants,
+                         testing::Combine(testing::Values(10, 31, 128),
+                                          testing::Values(5, 6)),
+                         param_name);
+
+// ---------------------------------------------------------------------------
+// Synthetic-coin invariants.
+// ---------------------------------------------------------------------------
+class SyntheticCoinInvariants : public testing::TestWithParam<Params> {};
+
+TEST_P(SyntheticCoinInvariants, RoleAndGenerationDiscipline) {
+  using Role = SyntheticCoinEstimation::CoinRole;
+  const auto [n, seed] = GetParam();
+  AgentSimulation<SyntheticCoinEstimation> sim(SyntheticCoinEstimation{}, n, seed);
+  for (int step = 0; step < 100; ++step) {
+    sim.advance_time(25.0);
+    for (const auto& a : sim.agents()) {
+      // F agents never compute.
+      if (a.role == Role::F) {
+        EXPECT_FALSE(a.gr_generated);
+        EXPECT_EQ(a.epoch, 0u);
+        EXPECT_EQ(a.sum, 0u);
+      }
+      // Generation order: gr only after logSize2 finished.
+      if (a.gr_generated) {
+        EXPECT_TRUE(a.log_size2_generated);
+      }
+      // logSize2 includes the +2 offset once generated.
+      if (a.role == Role::A && a.log_size2_generated) {
+        EXPECT_GE(a.log_size2, 3u);
+      }
+      // epoch bounded by target.
+      EXPECT_LE(a.epoch, sim.protocol().epoch_target(a));
+    }
+    if (converged(sim)) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SyntheticCoinInvariants,
+                         testing::Combine(testing::Values(32, 128, 512),
+                                          testing::Values(21, 22)),
+                         param_name);
+
+// ---------------------------------------------------------------------------
+// Uniform leader election invariants.
+// ---------------------------------------------------------------------------
+class LeaderElectionInvariants : public testing::TestWithParam<Params> {};
+
+TEST_P(LeaderElectionInvariants, ContendersOnlyDropAndMaxSurvives) {
+  const auto [n, seed] = GetParam();
+  auto proto = make_uniform_leader_election();
+  AgentSimulation<UniformLeaderElection> sim(proto, n, seed);
+  std::vector<bool> was_contender(n, true);
+  for (int step = 0; step < 120; ++step) {
+    sim.advance_time(25.0);
+    u128 max_own = 0;
+    bool max_is_contender = false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto& d = sim.agent(i).down;
+      // A dropped contender never returns.  Restarts (which legitimately
+      // reset contender) only happen while the weak estimate is still
+      // spreading, so enforce only after the first few samples.
+      if (step > 3 && !was_contender[i] && d.contender) {
+        ADD_FAILURE() << "contender resurrected at agent " << i;
+      }
+      was_contender[i] = d.contender;
+      if (d.own > max_own) {
+        max_own = d.own;
+        max_is_contender = d.contender;
+      } else if (d.own == max_own) {
+        max_is_contender = max_is_contender || d.contender;
+      }
+    }
+    // The max bitstring holder is always a live contender.
+    EXPECT_TRUE(max_is_contender) << "nobody holds the maximum";
+    if (clock_finished(sim)) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LeaderElectionInvariants,
+                         testing::Combine(testing::Values(64, 256, 1024),
+                                          testing::Values(31, 32)),
+                         param_name);
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,115 @@
+// Tests for the exhaustive configuration-space checker (paper §2.1
+// semantics): reachability, stable correctness, silence.
+#include <gtest/gtest.h>
+
+#include "proto/arithmetic.hpp"
+#include "proto/epidemic.hpp"
+#include "proto/partition.hpp"
+#include "sim/reachability.hpp"
+
+namespace pops {
+namespace {
+
+TEST(Reachability, SuccessorsOfEpidemicConfig) {
+  const auto spec = epidemic_spec();
+  const auto c = make_configuration(spec, {{"S", 2}, {"I", 1}});
+  const auto succ = successor_configurations(spec, c);
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0][spec.id("S")], 1u);
+  EXPECT_EQ(succ[0][spec.id("I")], 2u);
+}
+
+TEST(Reachability, SameStatePairNeedsCountTwo) {
+  FiniteSpec spec;
+  spec.add("a", "a", "b", "b");
+  const auto lone = make_configuration(spec, {{"a", 1}});
+  EXPECT_TRUE(successor_configurations(spec, lone).empty());
+  const auto pair = make_configuration(spec, {{"a", 2}});
+  EXPECT_EQ(successor_configurations(spec, pair).size(), 1u);
+}
+
+TEST(Reachability, EpidemicReachabilityIsALine) {
+  // From (S: n-1, I: 1) exactly the configurations (S: k, I: n-k) for
+  // 0 <= k <= n-1 are reachable: n configurations total.
+  const auto spec = epidemic_spec();
+  const auto start = make_configuration(spec, {{"S", 9}, {"I", 1}});
+  const auto reach = reachable_configurations(spec, start);
+  EXPECT_EQ(reach.size(), 10u);
+}
+
+TEST(Reachability, StablyCorrectEpidemic) {
+  // "All infected" is stably correct (no transition leaves it); "at least
+  // one infected" is stably correct from the start; "no infected" is not
+  // reachable from a seeded epidemic.
+  const auto spec = epidemic_spec();
+  const auto all_infected = make_configuration(spec, {{"I", 10}});
+  EXPECT_TRUE(is_silent(spec, all_infected));
+  EXPECT_TRUE(is_stably(spec, all_infected, [&](const Configuration& c) {
+    return c[spec.id("S")] == 0;
+  }));
+  const auto seeded = make_configuration(spec, {{"S", 9}, {"I", 1}});
+  EXPECT_TRUE(is_stably(spec, seeded, [&](const Configuration& c) {
+    return c[spec.id("I")] >= 1;
+  }));
+  EXPECT_FALSE(is_stably(spec, seeded, [&](const Configuration& c) {
+    return c[spec.id("S")] == 0;  // correct only at the end, not stably so now
+  }));
+  EXPECT_TRUE(can_reach(spec, seeded, [&](const Configuration& c) {
+    return c[spec.id("S")] == 0;
+  }));
+}
+
+TEST(Reachability, DoublingAlwaysStabilizesToTwoX) {
+  // Semantic check of the intro example: from (x: 3, q: 6), every reachable
+  // terminal-ish claim — a configuration with y = 6 is reachable and
+  // "y <= 6" holds stably.
+  const auto spec = doubling_spec();
+  const auto start = make_configuration(spec, {{"x", 3}, {"q", 6}});
+  EXPECT_TRUE(can_reach(spec, start, [&](const Configuration& c) {
+    return c[spec.id("y")] == 6 && c[spec.id("x")] == 0;
+  }));
+  EXPECT_TRUE(is_stably(spec, start, [&](const Configuration& c) {
+    return c[spec.id("y")] <= 6;
+  }));
+}
+
+TEST(Reachability, HalvingCannotOvershoot) {
+  const auto spec = halving_spec();
+  const auto start = make_configuration(spec, {{"x", 7}});
+  EXPECT_TRUE(is_stably(spec, start, [&](const Configuration& c) {
+    return c[spec.id("y")] <= 3;
+  }));
+  EXPECT_TRUE(can_reach(spec, start, [&](const Configuration& c) {
+    return c[spec.id("y")] == 3 && c[spec.id("x")] == 1;
+  }));
+}
+
+TEST(Reachability, MaxConfigGuardThrows) {
+  // Partition has a 3-state config space of size ~C(n+2,2); with a tiny cap
+  // the guard must fire.
+  const auto spec = partition_spec();
+  const auto start = make_configuration(spec, {{"X", 20}});
+  EXPECT_THROW(reachable_configurations(spec, start, 5), std::invalid_argument);
+}
+
+TEST(Reachability, ConfigSizeMismatchThrows) {
+  const auto spec = epidemic_spec();
+  EXPECT_THROW(successor_configurations(spec, Configuration{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Reachability, PartitionAlwaysExhaustsX) {
+  // From all-X with n = 12, every reachable configuration can still reach
+  // X = 0 (the partition never deadlocks), and X = 0 configurations are
+  // silent for the partition rules.
+  const auto spec = partition_spec();
+  const auto start = make_configuration(spec, {{"X", 12}});
+  for (const auto& c : reachable_configurations(spec, start)) {
+    EXPECT_TRUE(can_reach(spec, c, [&](const Configuration& d) {
+      return d[spec.id("X")] == 0;
+    }));
+  }
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,173 @@
+// Unit tests for the RNG substrate: determinism, uniformity, geometric
+// distribution shape, ordered-pair scheduler properties.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace pops {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng a(7);
+  const auto first = a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr std::uint64_t kDraws = 100000;
+  std::array<std::uint64_t, kBuckets> counts{};
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  // Chi-square with 9 dof: 99.9th percentile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(5);
+  std::uint64_t heads = 0;
+  constexpr std::uint64_t kFlips = 100000;
+  for (std::uint64_t i = 0; i < kFlips; ++i) heads += rng.coin() ? 1 : 0;
+  // 5 sigma band around n/2 with sigma = sqrt(n)/2 ~ 158.
+  EXPECT_NEAR(static_cast<double>(heads), kFlips / 2.0, 800.0);
+}
+
+TEST(Rng, GeometricFairHasSupportFromOne) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.geometric_fair(), 1u);
+}
+
+TEST(Rng, GeometricFairMeanIsTwo) {
+  Rng rng(13);
+  Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(static_cast<double>(rng.geometric_fair()));
+  EXPECT_NEAR(s.mean(), 2.0, 0.02);
+}
+
+TEST(Rng, GeometricFairMatchesDistribution) {
+  // Pr[G = k] = 2^{-k}: check the first few atoms.
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  std::array<int, 5> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    const auto g = rng.geometric_fair();
+    if (g <= 5) ++counts[g - 1];
+  }
+  for (int k = 1; k <= 5; ++k) {
+    const double expected = kDraws * std::pow(2.0, -k);
+    EXPECT_NEAR(static_cast<double>(counts[k - 1]), expected, 6.0 * std::sqrt(expected) + 10)
+        << "atom k=" << k;
+  }
+}
+
+TEST(Rng, GeneralGeometricMean) {
+  Rng rng(23);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(static_cast<double>(rng.geometric(0.25)));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, GeometricParameterValidation) {
+  Rng rng(1);
+  EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+  EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, OrderedPairDistinct) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const auto [a, b] = rng.ordered_pair(5);
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 5u);
+    EXPECT_LT(b, 5u);
+  }
+}
+
+TEST(Rng, OrderedPairRejectsTinyPopulation) {
+  Rng rng(1);
+  EXPECT_THROW(rng.ordered_pair(1), std::invalid_argument);
+}
+
+TEST(Rng, OrderedPairUniformOverAllPairs) {
+  Rng rng(37);
+  constexpr std::uint64_t kN = 4;  // 12 ordered pairs
+  constexpr int kDraws = 120000;
+  std::array<int, kN * kN> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    const auto [a, b] = rng.ordered_pair(kN);
+    ++counts[a * kN + b];
+  }
+  const double expected = kDraws / 12.0;
+  for (std::uint64_t a = 0; a < kN; ++a) {
+    for (std::uint64_t b = 0; b < kN; ++b) {
+      if (a == b) {
+        EXPECT_EQ(counts[a * kN + b], 0);
+      } else {
+        EXPECT_NEAR(static_cast<double>(counts[a * kN + b]), expected,
+                    6.0 * std::sqrt(expected));
+      }
+    }
+  }
+}
+
+TEST(SplitMix, DeterministicAndNonTrivial) {
+  SplitMix64 a(0), b(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,122 @@
+// Unit tests for summary statistics, quantiles, histogram, tables, trials.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/table.hpp"
+#include "harness/trials.hpp"
+#include "sim/metrics.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace pops {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.35), 3.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(9.99);
+  h.add(10.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t({"n", "time"});
+  t.row({"100", "1.5"});
+  t.row({"100000", "2.25"});
+  std::ostringstream os;
+  t.print(os);
+  const auto out = os.str();
+  EXPECT_NE(out.find("100000"), std::string::npos);
+  EXPECT_NE(out.find("time"), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(FieldRangeRecorder, TracksMaximaAndBound) {
+  FieldRangeRecorder r;
+  r.observe("x", 3);
+  r.observe("x", 7);
+  r.observe("y", 1);
+  EXPECT_EQ(r.max_value("x"), 7u);
+  EXPECT_EQ(r.max_value("z"), 0u);
+  EXPECT_DOUBLE_EQ(r.state_count_bound(), 8.0 * 2.0);
+}
+
+TEST(Trials, SeedsAreDistinctAndReproducible) {
+  EXPECT_EQ(trial_seed(1, 0), trial_seed(1, 0));
+  EXPECT_NE(trial_seed(1, 0), trial_seed(1, 1));
+  EXPECT_NE(trial_seed(1, 0), trial_seed(2, 0));
+}
+
+TEST(Trials, RunTrialsCollectsResults) {
+  const auto results =
+      run_trials(5, 7, [](std::uint64_t seed, std::uint64_t idx) {
+        return static_cast<double>(seed % 97) + static_cast<double>(idx);
+      });
+  EXPECT_EQ(results.size(), 5u);
+  const auto again =
+      run_trials(5, 7, [](std::uint64_t seed, std::uint64_t idx) {
+        return static_cast<double>(seed % 97) + static_cast<double>(idx);
+      });
+  EXPECT_EQ(results, again);
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,82 @@
+// Tests for the probability-1 upper-bound estimator (paper Section 3.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/upper_bound_estimation.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+
+namespace pops {
+namespace {
+
+using Sim = AgentSimulation<UpperBoundEstimation>;
+
+TEST(UpperBound, ReportIsAlwaysAtLeastBackup) {
+  UpperBoundEstimation proto;
+  UpperBoundEstimation::State s{};
+  s.backup.best = 6;  // kex = 7
+  EXPECT_EQ(proto.report(s), 7);
+  s.fast.has_output = true;
+  s.fast.output = 1;  // fast + 4 = 5 < 7
+  EXPECT_EQ(proto.report(s), 7);
+  s.fast.output = 10;  // fast + 4 = 14 > 7
+  EXPECT_EQ(proto.report(s), 14);
+}
+
+TEST(UpperBound, ReportUpperBoundsLogNAfterStabilization) {
+  // After both the fast protocol converges and the backup stabilizes, every
+  // agent's report must be >= log2 n — with probability 1, so across ALL
+  // trials and agents.
+  for (std::uint64_t n : {48ULL, 100ULL, 256ULL}) {
+    const double logn = std::log2(static_cast<double>(n));
+    for (int trial = 0; trial < 4; ++trial) {
+      Sim sim(UpperBoundEstimation{}, n, trial_seed(101 + n, trial));
+      const double t = sim.run_until(
+          [](const Sim& s) {
+            if (!fast_converged(s)) return false;
+            std::uint32_t expected = 0;
+            while ((std::uint64_t{1} << (expected + 1)) <= s.population_size()) ++expected;
+            for (const auto& a : s.agents()) {
+              if (a.backup.best != expected) return false;
+            }
+            return true;
+          },
+          25.0, 1e7);
+      ASSERT_GE(t, 0.0) << "n=" << n;
+      for (const auto& a : sim.agents()) {
+        EXPECT_GE(static_cast<double>(sim.protocol().report(a)), logn) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(UpperBound, ReportNotAbsurdlyLarge) {
+  // w.h.p. the report stays within log n + O(1): fast output ~ log n + 1 plus
+  // the +4 shift gives ~ log n + 5; backup gives <= log n + 1.
+  constexpr std::uint64_t kN = 256;
+  Sim sim(UpperBoundEstimation{}, kN, 7);
+  ASSERT_GE(sim.run_until([](const Sim& s) { return fast_converged(s); }, 25.0, 1e7), 0.0);
+  for (const auto& a : sim.agents()) {
+    EXPECT_LE(sim.protocol().report(a), 8 + 11);  // log n + 5.7 + 4 generous cap
+  }
+}
+
+TEST(UpperBound, BackupAloneSufficesIfFastUnfinished) {
+  // Before the fast estimate exists, report falls back to kex (which is a
+  // lower bound on the final value, approaching from below).
+  UpperBoundEstimation proto;
+  UpperBoundEstimation::State s{};
+  EXPECT_EQ(proto.report(s), 1);  // best = 0 -> kex = 1
+}
+
+TEST(UpperBound, FastPartMatchesStandaloneAccuracy) {
+  constexpr std::uint64_t kN = 512;
+  Sim sim(UpperBoundEstimation{}, kN, 17);
+  ASSERT_GE(sim.run_until([](const Sim& s) { return fast_converged(s); }, 25.0, 1e7), 0.0);
+  const double fast = sim.agent(0).fast.output;
+  EXPECT_NEAR(fast, 9.0, 5.7);
+}
+
+}  // namespace
+}  // namespace pops

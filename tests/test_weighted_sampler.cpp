@@ -1,0 +1,98 @@
+// Unit tests for the Fenwick-tree weighted sampler.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "sim/weighted_sampler.hpp"
+
+namespace pops {
+namespace {
+
+TEST(WeightedSampler, StartsEmpty) {
+  WeightedSampler ws(4);
+  EXPECT_EQ(ws.total(), 0u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(ws.count(i), 0u);
+}
+
+TEST(WeightedSampler, AddAndSetMaintainTotals) {
+  WeightedSampler ws(3);
+  ws.add(0, 5);
+  ws.add(2, 7);
+  EXPECT_EQ(ws.total(), 12u);
+  ws.set_count(0, 1);
+  EXPECT_EQ(ws.total(), 8u);
+  EXPECT_EQ(ws.count(0), 1u);
+  ws.add(0, -1);
+  EXPECT_EQ(ws.count(0), 0u);
+  EXPECT_EQ(ws.total(), 7u);
+}
+
+TEST(WeightedSampler, RejectsNegativeCounts) {
+  WeightedSampler ws(2);
+  ws.add(0, 3);
+  EXPECT_THROW(ws.add(0, -4), std::invalid_argument);
+  EXPECT_THROW(ws.add(5, 1), std::invalid_argument);
+}
+
+TEST(WeightedSampler, FindMapsCumulativePositions) {
+  WeightedSampler ws(4);
+  ws.add(0, 2);  // positions 0,1
+  ws.add(1, 0);
+  ws.add(2, 3);  // positions 2,3,4
+  ws.add(3, 1);  // position 5
+  EXPECT_EQ(ws.find(0), 0u);
+  EXPECT_EQ(ws.find(1), 0u);
+  EXPECT_EQ(ws.find(2), 2u);
+  EXPECT_EQ(ws.find(4), 2u);
+  EXPECT_EQ(ws.find(5), 3u);
+  EXPECT_THROW(ws.find(6), std::invalid_argument);
+}
+
+TEST(WeightedSampler, SampleProportionalToCounts) {
+  WeightedSampler ws(3);
+  ws.add(0, 10);
+  ws.add(1, 30);
+  ws.add(2, 60);
+  Rng rng(123);
+  std::array<std::uint64_t, 3> hits{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++hits[ws.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(hits[0]) / kDraws, 0.10, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[1]) / kDraws, 0.30, 0.015);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / kDraws, 0.60, 0.015);
+}
+
+TEST(WeightedSampler, NeverSamplesZeroCountItem) {
+  WeightedSampler ws(5);
+  ws.add(1, 3);
+  ws.add(3, 2);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = ws.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(WeightedSampler, SampleFromEmptyThrows) {
+  WeightedSampler ws(3);
+  Rng rng(1);
+  EXPECT_THROW(ws.sample(rng), std::invalid_argument);
+}
+
+TEST(WeightedSampler, LargeNonPowerOfTwoSize) {
+  WeightedSampler ws(37);
+  Rng rng(99);
+  for (std::size_t i = 0; i < 37; ++i) ws.add(i, i % 3);
+  std::uint64_t expected_total = 0;
+  for (std::size_t i = 0; i < 37; ++i) expected_total += i % 3;
+  EXPECT_EQ(ws.total(), expected_total);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = ws.sample(rng);
+    EXPECT_NE(s % 3, 0u);  // items with count 0 never drawn
+  }
+}
+
+}  // namespace
+}  // namespace pops
