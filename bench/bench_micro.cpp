@@ -1,11 +1,21 @@
 // MICRO — google-benchmark microbenchmarks for the simulation substrate:
 // RNG, geometric sampling, pair sampling, Fenwick sampler, and
 // interactions/second of the three main simulators.
+//
+// Emits machine-readable JSON by default (`--benchmark_format=console` to
+// override) so `BENCH_*.json` perf-trajectory tracking can diff runs:
+//   ./bench_micro --benchmark_out=BENCH_micro.json
+// Simulator benchmarks expose an `interactions_per_sec` counter.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/log_size_estimation.hpp"
 #include "proto/epidemic.hpp"
 #include "sim/agent_simulation.hpp"
+#include "sim/batched_count_simulation.hpp"
 #include "sim/count_simulation.hpp"
 #include "sim/rng.hpp"
 #include "sim/weighted_sampler.hpp"
@@ -64,6 +74,8 @@ void BM_ValueEpidemicInteractions(benchmark::State& state) {
                                                  7);
   for (auto _ : state) sim.steps(1024);
   state.SetItemsProcessed(static_cast<std::int64_t>(sim.interactions()));
+  state.counters["interactions_per_sec"] = benchmark::Counter(
+      static_cast<double>(sim.interactions()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ValueEpidemicInteractions)->Arg(1000)->Arg(100000);
 
@@ -72,6 +84,8 @@ void BM_LogSizeEstimationInteractions(benchmark::State& state) {
       pops::LogSizeEstimation{}, static_cast<std::uint64_t>(state.range(0)), 8);
   for (auto _ : state) sim.steps(1024);
   state.SetItemsProcessed(static_cast<std::int64_t>(sim.interactions()));
+  state.counters["interactions_per_sec"] = benchmark::Counter(
+      static_cast<double>(sim.interactions()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LogSizeEstimationInteractions)->Arg(1000)->Arg(100000);
 
@@ -81,7 +95,47 @@ void BM_CountSimulationInteractions(benchmark::State& state) {
   sim.set_count("I", 1);
   for (auto _ : state) sim.steps(1024);
   state.SetItemsProcessed(static_cast<std::int64_t>(sim.interactions()));
+  state.counters["interactions_per_sec"] = benchmark::Counter(
+      static_cast<double>(sim.interactions()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CountSimulationInteractions)->Arg(1000000);
 
+void BM_BatchedCountSimulationInteractions(benchmark::State& state) {
+  pops::BatchedCountSimulation sim(pops::epidemic_spec(), 10);
+  sim.set_count("S", static_cast<std::uint64_t>(state.range(0)) - 1);
+  sim.set_count("I", 1);
+  // Step in chunks much larger than the ~0.89*sqrt(n) epoch length so the
+  // budget never truncates a batch.
+  const std::uint64_t chunk = 1 << 20;
+  for (auto _ : state) {
+    // Reset once the epidemic saturates so batches stay representative.
+    if (sim.count("S") == 0) {
+      sim.set_count("S", static_cast<std::uint64_t>(state.range(0)) - 1);
+      sim.set_count("I", 1);
+    }
+    sim.steps(chunk);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.interactions()));
+  state.counters["interactions_per_sec"] = benchmark::Counter(
+      static_cast<double>(sim.interactions()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchedCountSimulationInteractions)->Arg(1000000)->Arg(100000000);
+
 }  // namespace
+
+// Custom main: default to JSON output (machine-readable perf trajectory);
+// any explicit --benchmark_format flag wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_format = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_format", 18) == 0) has_format = true;
+  }
+  static std::string json_flag = "--benchmark_format=json";
+  if (!has_format) args.push_back(json_flag.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,351 @@
+// Batched count-based simulator: Θ(√n) interactions per RNG epoch.
+//
+// The paper measures protocols in parallel time (= interactions / n), so its
+// convergence figures at n = 10⁸–10¹² need Θ(n polylog n) interactions per
+// trial — hopeless at O(log S) Fenwick work per interaction.  This simulator
+// uses the batching technique of ppsim (Doty–Severson, CMSB 2021; cf.
+// Berenbrink et al., "Simulating Population Protocols in Sub-Constant Time
+// per Interaction"): between two interactions that touch the same agent,
+// interactions commute, so the chain can be advanced in collision-free
+// batches whose length follows the birthday distribution — expected
+// Θ(√n) interactions per epoch — with each batch applied by count arithmetic.
+//
+// One epoch, exactly distribution-preserving w.r.t. the sequential chain:
+//   1. Sample L = index of the first interaction that reuses an agent
+//      ("collision"), via inversion of the birthday survival function
+//      P(L > t) = (n)_{2t} / (n(n-1))^t  (binary search, O(log n) evals).
+//   2. The 2(L−1) agents of the collision-free prefix are a uniform sample
+//      without replacement from the configuration: draw the receiver and
+//      sender state multisets by multivariate hypergeometric, pair them by
+//      a sequentially-sampled contingency table, and apply every transition
+//      by count arithmetic (randomized transitions split by binomial draws).
+//   3. Resolve the single colliding interaction exactly: the repeated agent
+//      is uniform among the 2(L−1) touched agents (whose post-batch states
+//      are known as a multiset), its partner uniform among touched/untouched
+//      pools with the exact conditional weights.
+//
+// Truncating an epoch after a fixed number of interactions is also exact —
+// whether a prefix is collision-free depends only on agent identities, which
+// are independent of agent states — so `steps(k)` advances exactly k
+// interactions and the `step/steps/advance_time/run_until` API matches
+// `CountSimulation` precisely; every experiment can switch simulators with a
+// template parameter.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/dispatch.hpp"
+#include "sim/finite_spec.hpp"
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+#include "stats/discrete.hpp"
+
+namespace pops {
+
+class BatchedCountSimulation {
+ public:
+  BatchedCountSimulation(FiniteSpec spec, std::uint64_t seed)
+      : spec_(std::move(spec)), rng_(seed) {
+    spec_.validate();
+    dispatch_ = DispatchTable(spec_);
+    const std::uint32_t s = spec_.num_states();
+    counts_.assign(s, 0);
+    touched_.assign(s, 0);
+    recv_.assign(s, 0);
+    send_.assign(s, 0);
+  }
+
+  /// Set the initial count of a state (before stepping).
+  void set_count(const std::string& state, std::uint64_t count) {
+    set_count(spec_.id(state), count);
+  }
+  void set_count(std::uint32_t state, std::uint64_t count) {
+    total_ = total_ - counts_.at(state) + count;
+    counts_.at(state) = count;
+  }
+
+  std::uint64_t count(const std::string& state) const {
+    return spec_.has_state(state) ? counts_[spec_.id(state)] : 0;
+  }
+  std::uint64_t count(std::uint32_t state) const { return counts_.at(state); }
+  std::uint64_t population_size() const { return total_; }
+  std::uint64_t interactions() const { return interactions_; }
+  const FiniteSpec& spec() const { return spec_; }
+
+  double time() const {
+    return static_cast<double>(interactions_) / static_cast<double>(total_);
+  }
+
+  /// One interaction (an epoch truncated to length 1 — still exact).
+  void step() { steps(1); }
+
+  /// Advance exactly `k` interactions.  steps(0) is a no-op, as in
+  /// CountSimulation.
+  void steps(std::uint64_t k) {
+    if (k == 0) return;
+    POPS_REQUIRE(total_ >= 2, "population too small to interact");
+    while (k > 0) k -= epoch(k);
+  }
+
+  void advance_time(double dt) {
+    POPS_REQUIRE(dt >= 0.0, "advance_time needs dt >= 0");
+    steps(static_cast<std::uint64_t>(dt * static_cast<double>(total_)));
+  }
+
+  template <typename Pred>
+  double run_until(Pred&& done, double check_dt = 1.0, double max_time = 1e12) {
+    POPS_REQUIRE(check_dt > 0.0, "run_until needs check_dt > 0");
+    while (time() < max_time) {
+      if (done(*this)) return time();
+      advance_time(check_dt);
+    }
+    return done(*this) ? time() : -1.0;
+  }
+
+  /// Snapshot of all counts, indexed by state id.
+  std::vector<std::uint64_t> counts() const { return counts_; }
+
+ private:
+  // ------------------------------------------------------------ epochs ----
+
+  /// Run one epoch, bounded by `budget` interactions; returns how many
+  /// interactions were executed (>= 1).
+  std::uint64_t epoch(std::uint64_t budget) {
+    const std::uint64_t n = total_;
+    const std::uint64_t tmax = n / 2;  // longest possible collision-free run
+    if (budget == 1) {  // a single interaction is always a collision-free prefix
+      run_batch(1, /*keep_split=*/false);
+      return 1;
+    }
+    const double u = rng_.uniform_double();
+    if (u <= 0.0) {  // measure-zero guard: collision arbitrarily late
+      const std::uint64_t t = std::min(budget, tmax);
+      run_batch(t, /*keep_split=*/false);
+      return t;
+    }
+    const double log_u = std::log(u);
+    if (budget <= tmax && log_survival(budget) >= log_u) {
+      // First collision falls beyond the budget: the prefix we need is
+      // collision-free, and truncation is exact (see header comment).
+      run_batch(budget, /*keep_split=*/false);
+      return budget;
+    }
+    // Binary search the smallest t with P(L > t) < u; the collision is
+    // interaction t, preceded by t-1 collision-free interactions.
+    std::uint64_t lo = 1, hi = std::min(budget, tmax + 1);
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (log_survival(mid) < log_u) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    // P(L > 1) = 1, so lo >= 2 up to floating-point noise in log_survival;
+    // clamp so the batch is never empty (budget >= 2 here, so batch + 1 fits).
+    const std::uint64_t batch = std::max<std::uint64_t>(lo, 2) - 1;
+    run_batch(batch, /*keep_split=*/true);
+    resolve_collision(batch);
+    return batch + 1;
+  }
+
+  /// log P(L > t): probability that t interactions in a row reuse no agent,
+  /// i.e. the falling factorial (n)_{2t} / (n(n-1))^t.  For large n this is
+  /// evaluated by a truncated log1p series with closed-form power sums (the
+  /// lgamma difference would cancel catastrophically); for small n, by
+  /// lgamma directly.
+  double log_survival(std::uint64_t t) const {
+    const std::uint64_t n = total_;
+    if (2 * t > n) return -std::numeric_limits<double>::infinity();
+    const double dn = static_cast<double>(n);
+    const double dt = static_cast<double>(t);
+    if (n < 1000000) {
+      return std::lgamma(dn + 1.0) - std::lgamma(dn - 2.0 * dt + 1.0) -
+             dt * (std::log(dn) + std::log(dn - 1.0));
+    }
+    // sum_{j=0}^{2t-1} log1p(-j/n) - t*log1p(-1/n), with
+    // sum log1p(-j/n) ~ -(S1/n + S2/(2n^2) + S3/(3n^3) + S4/(4n^4)).
+    // Truncation error is negligible where the value can affect the
+    // comparison against log(u) >= log(2^-53) ~ -36.7.
+    const double m = 2.0 * dt;
+    const double s1 = m * (m - 1.0) / 2.0;
+    const double s2 = (m - 1.0) * m * (2.0 * m - 1.0) / 6.0;
+    const double s3 = s1 * s1;
+    const double s4 = s2 * (3.0 * m * m - 3.0 * m - 1.0) / 5.0;
+    const double series = -(s1 / dn + s2 / (2.0 * dn * dn) +
+                            s3 / (3.0 * dn * dn * dn) +
+                            s4 / (4.0 * dn * dn * dn * dn));
+    return series - dt * std::log1p(-1.0 / dn);
+  }
+
+  // ------------------------------------------------------- batch moves ----
+
+  /// Sample and apply `t` collision-free interactions by count arithmetic.
+  /// If `keep_split` is set, the configuration is left split across
+  /// `counts_` (untouched agents) and `touched_` (post-batch states of the
+  /// 2t touched agents) for collision resolution; otherwise it is merged.
+  void run_batch(std::uint64_t t, bool keep_split) {
+    const std::uint32_t s = spec_.num_states();
+    std::fill(touched_.begin(), touched_.end(), 0);
+    // Receiver and sender state multisets: uniform without replacement.
+    draw_without_replacement(t, recv_);
+    draw_without_replacement(t, send_);
+    // Pair receivers with senders: a uniform bipartite matching, realized as
+    // a sequentially-sampled contingency table (each receiver class takes a
+    // hypergeometric share of the remaining sender pool).
+    std::uint64_t send_total = t;
+    for (std::uint32_t i = 0; i < s; ++i) {
+      std::uint64_t need = recv_[i];
+      if (need == 0) continue;
+      std::uint64_t pool = send_total;
+      for (std::uint32_t j = 0; j < s && need > 0; ++j) {
+        if (send_[j] == 0) {
+          continue;
+        }
+        const std::uint64_t d = hypergeometric(rng_, pool, send_[j], need);
+        pool -= send_[j];
+        if (d > 0) {
+          send_[j] -= d;
+          need -= d;
+          send_total -= d;
+          apply_cell(i, j, d);
+        }
+      }
+    }
+    interactions_ += t;
+    if (!keep_split) merge_touched();
+  }
+
+  /// Draw `t` agents without replacement from `counts_` into `out`
+  /// (multivariate hypergeometric) and remove them from `counts_`.
+  void draw_without_replacement(std::uint64_t t, std::vector<std::uint64_t>& out) {
+    multivariate_hypergeometric(rng_, counts_, t, out);
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] -= out[i];
+  }
+
+  /// Apply `d` simultaneous interactions with input pair (i, j), appending
+  /// the output states to the touched multiset.  Randomized cells split `d`
+  /// across their transitions (plus the residual null) by binomial draws.
+  void apply_cell(std::uint32_t i, std::uint32_t j, std::uint64_t d) {
+    const std::size_t cell = dispatch_.cell(i, j);
+    switch (dispatch_.kind(cell)) {
+      case DispatchTable::CellKind::kNull:
+        touched_[i] += d;
+        touched_[j] += d;
+        return;
+      case DispatchTable::CellKind::kDeterministic: {
+        const auto& e = dispatch_.only(cell);
+        touched_[e.out_receiver] += d;
+        touched_[e.out_sender] += d;
+        return;
+      }
+      case DispatchTable::CellKind::kRandomized: {
+        std::uint64_t rem = d;
+        double rest = 1.0;
+        for (const auto* e = dispatch_.begin(cell);
+             e != dispatch_.end(cell) && rem > 0; ++e) {
+          const double p = std::min(1.0, std::max(0.0, e->rate / rest));
+          const std::uint64_t k = binomial(rng_, rem, p);
+          touched_[e->out_receiver] += k;
+          touched_[e->out_sender] += k;
+          rem -= k;
+          rest -= e->rate;
+        }
+        touched_[i] += rem;  // residual mass: null transitions
+        touched_[j] += rem;
+        return;
+      }
+    }
+  }
+
+  void merge_touched() {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += touched_[i];
+  }
+
+  // ------------------------------------------------------- collisions ----
+
+  /// Execute the colliding interaction exactly.  After a kept-split batch of
+  /// `batch` interactions, `touched_` holds the 2*batch post-batch states and
+  /// `counts_` the untouched agents.  Conditioned on being the first
+  /// collision, the ordered pair is uniform over ordered distinct pairs that
+  /// are not untouched-untouched; with T = 2*batch touched and U untouched
+  /// agents the three cases have weights T·U, U·T, T·(T−1) — T divides out,
+  /// leaving U : U : T−1.
+  void resolve_collision(std::uint64_t batch) {
+    const std::uint64_t touched_total = 2 * batch;
+    const std::uint64_t untouched_total = total_ - touched_total;
+    std::uint64_t t_pool = touched_total;
+    std::uint64_t u_pool = untouched_total;
+    const std::uint64_t x = rng_.below(2 * untouched_total + touched_total - 1);
+    std::uint32_t r_state, s_state;
+    if (x < untouched_total) {  // receiver touched, sender untouched
+      r_state = draw_one(touched_, t_pool);
+      s_state = draw_one(counts_, u_pool);
+    } else if (x < 2 * untouched_total) {  // receiver untouched, sender touched
+      r_state = draw_one(counts_, u_pool);
+      s_state = draw_one(touched_, t_pool);
+    } else {  // both touched (two distinct touched agents)
+      r_state = draw_one(touched_, t_pool);
+      s_state = draw_one(touched_, t_pool);
+    }
+    const auto [out_r, out_s] = resolve_transition(r_state, s_state);
+    ++touched_[out_r];
+    ++touched_[out_s];
+    ++interactions_;
+    merge_touched();
+  }
+
+  /// Remove and return one uniform agent from the multiset `pool` of total
+  /// size `pool_total` (linear scan: S is small).
+  std::uint32_t draw_one(std::vector<std::uint64_t>& pool, std::uint64_t& pool_total) {
+    std::uint64_t slot = rng_.below(pool_total);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (slot < pool[i]) {
+        --pool[i];
+        --pool_total;
+        return static_cast<std::uint32_t>(i);
+      }
+      slot -= pool[i];
+    }
+    POPS_REQUIRE(false, "corrupt multiset in collision draw");
+    return 0;  // unreachable
+  }
+
+  /// Outcome of a single (receiver, sender) interaction, consuming the rate
+  /// draw only for randomized cells.
+  std::pair<std::uint32_t, std::uint32_t> resolve_transition(std::uint32_t r,
+                                                             std::uint32_t s) {
+    const std::size_t cell = dispatch_.cell(r, s);
+    switch (dispatch_.kind(cell)) {
+      case DispatchTable::CellKind::kNull:
+        return {r, s};
+      case DispatchTable::CellKind::kDeterministic: {
+        const auto& e = dispatch_.only(cell);
+        return {e.out_receiver, e.out_sender};
+      }
+      case DispatchTable::CellKind::kRandomized: {
+        const auto* e = dispatch_.pick(cell, rng_.uniform_double());
+        if (e != nullptr) return {e->out_receiver, e->out_sender};
+        return {r, s};  // residual: null transition
+      }
+    }
+    return {r, s};
+  }
+
+  FiniteSpec spec_;
+  Rng rng_;
+  DispatchTable dispatch_;
+  std::vector<std::uint64_t> counts_;  ///< configuration vector
+  std::uint64_t total_ = 0;
+  std::uint64_t interactions_ = 0;
+  // Per-epoch scratch (preallocated; hot path does no allocation).
+  std::vector<std::uint64_t> touched_, recv_, send_;
+};
+
+}  // namespace pops

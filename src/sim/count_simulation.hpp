@@ -1,19 +1,25 @@
 // Count-based (configuration-vector) simulator for finite-state protocols.
 //
 // A configuration ~c ∈ N^Λ (paper, Section 2) stores the count of each state.
-// Each step draws an ordered pair of *distinct* agents uniformly — receiver
-// first, then sender from the remaining n-1 — by sampling state indices with
-// probability proportional to counts, and fires one of the transitions
-// registered for that input pair according to the rate constants.
+// Each step draws an ordered pair of *distinct* agents uniformly — the
+// receiver is a uniform agent-slot in the cumulative count order, and the
+// sender is drawn by rejection: uniform agent-slots are redrawn until one
+// differs from the receiver's slot, which is exactly uniform over the other
+// n−1 agents and never mutates the Fenwick tree.  The fired transition comes
+// from a CSR dispatch table (sim/dispatch.hpp); deterministic cells skip the
+// rate draw entirely.
 //
 // For protocols with S = O(1) states this is dramatically faster than
 // per-agent simulation (no Θ(n) agent array to touch) and is exact: the
 // induced Markov chain on configurations is identical to the agent-level one.
+// For Θ(√n)-interaction batches on top of the same dispatch table, see
+// sim/batched_count_simulation.hpp.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/dispatch.hpp"
 #include "sim/finite_spec.hpp"
 #include "sim/require.hpp"
 #include "sim/rng.hpp"
@@ -26,7 +32,7 @@ class CountSimulation {
   CountSimulation(FiniteSpec spec, std::uint64_t seed)
       : spec_(std::move(spec)), rng_(seed), sampler_(spec_.num_states()) {
     spec_.validate();
-    build_dispatch();
+    dispatch_ = DispatchTable(spec_);
   }
 
   /// Set the initial count of a state (before stepping).
@@ -51,12 +57,16 @@ class CountSimulation {
 
   /// One interaction.
   void step() {
-    POPS_REQUIRE(population_size() >= 2, "population too small to interact");
-    // Receiver uniform among all agents; sender uniform among the rest.
-    const std::size_t receiver = sampler_.sample(rng_);
-    sampler_.add(receiver, -1);
-    const std::size_t sender = sampler_.sample(rng_);
-    sampler_.add(receiver, +1);
+    const std::uint64_t n = population_size();
+    POPS_REQUIRE(n >= 2, "population too small to interact");
+    // Receiver: a uniform agent-slot.  Sender: rejection over agent-slots —
+    // redraw on the receiver's exact slot, so the tree is never touched just
+    // to exclude one agent (expected < 2 draws even for n = 2).
+    const std::uint64_t receiver_slot = rng_.below(n);
+    const std::size_t receiver = sampler_.find(receiver_slot);
+    std::uint64_t sender_slot = rng_.below(n);
+    while (sender_slot == receiver_slot) sender_slot = rng_.below(n);
+    const std::size_t sender = sampler_.find(sender_slot);
     apply(static_cast<std::uint32_t>(receiver), static_cast<std::uint32_t>(sender));
     ++interactions_;
   }
@@ -84,40 +94,38 @@ class CountSimulation {
   std::vector<std::uint64_t> counts() const { return sampler_.counts(); }
 
  private:
-  void build_dispatch() {
-    const std::uint32_t s = spec_.num_states();
-    dispatch_.assign(static_cast<std::size_t>(s) * s, {});
-    for (const auto& t : spec_.transitions()) {
-      dispatch_[static_cast<std::size_t>(t.in_receiver) * s + t.in_sender].push_back(t);
+  void apply(std::uint32_t receiver, std::uint32_t sender) {
+    const std::size_t cell = dispatch_.cell(receiver, sender);
+    switch (dispatch_.kind(cell)) {
+      case DispatchTable::CellKind::kNull:
+        return;
+      case DispatchTable::CellKind::kDeterministic:
+        fire(dispatch_.only(cell), receiver, sender);
+        return;
+      case DispatchTable::CellKind::kRandomized: {
+        const auto* e = dispatch_.pick(cell, rng_.uniform_double());
+        if (e != nullptr) fire(*e, receiver, sender);
+        return;  // nullptr: residual probability mass, null transition
+      }
     }
   }
 
-  void apply(std::uint32_t receiver, std::uint32_t sender) {
-    const auto& options =
-        dispatch_[static_cast<std::size_t>(receiver) * spec_.num_states() + sender];
-    if (options.empty()) return;
-    double u = rng_.uniform_double();
-    for (const auto& t : options) {
-      if (u < t.rate) {
-        if (t.out_receiver != receiver) {
-          sampler_.add(receiver, -1);
-          sampler_.add(t.out_receiver, +1);
-        }
-        if (t.out_sender != sender) {
-          sampler_.add(sender, -1);
-          sampler_.add(t.out_sender, +1);
-        }
-        return;
-      }
-      u -= t.rate;
+  void fire(const DispatchTable::Entry& e, std::uint32_t receiver,
+            std::uint32_t sender) {
+    if (e.out_receiver != receiver) {
+      sampler_.add(receiver, -1);
+      sampler_.add(e.out_receiver, +1);
     }
-    // Residual probability mass: null transition.
+    if (e.out_sender != sender) {
+      sampler_.add(sender, -1);
+      sampler_.add(e.out_sender, +1);
+    }
   }
 
   FiniteSpec spec_;
   Rng rng_;
   WeightedSampler sampler_;
-  std::vector<std::vector<Transition>> dispatch_;
+  DispatchTable dispatch_;
   std::uint64_t interactions_ = 0;
 };
 

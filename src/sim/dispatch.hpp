@@ -1,0 +1,99 @@
+// Flattened transition dispatch shared by the count-based simulators.
+//
+// `FiniteSpec` stores transitions as an edit-friendly list; the simulators
+// need the inverse view — "given the input pair (receiver, sender), which
+// transitions can fire?" — on the hottest path.  `DispatchTable` compiles the
+// spec into a CSR (compressed sparse row) layout over the S×S input-pair
+// grid: one contiguous entry array plus offsets, with a per-cell kind tag so
+// the common cases cost no indirection and no RNG:
+//   * kNull          — no registered transition: the interaction is a no-op;
+//   * kDeterministic — exactly one transition with rate 1.0: fire it without
+//     consuming randomness (most paper protocols are deterministic, so this
+//     skips a uniform_double() per interaction);
+//   * kRandomized    — general case: choose among entries (or the residual
+//     null transition) by cumulative rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/finite_spec.hpp"
+
+namespace pops {
+
+class DispatchTable {
+ public:
+  struct Entry {
+    std::uint32_t out_receiver = 0;
+    std::uint32_t out_sender = 0;
+    double rate = 1.0;
+  };
+
+  enum class CellKind : std::uint8_t { kNull, kDeterministic, kRandomized };
+
+  DispatchTable() = default;
+
+  explicit DispatchTable(const FiniteSpec& spec) : num_states_(spec.num_states()) {
+    const std::size_t cells =
+        static_cast<std::size_t>(num_states_) * num_states_;
+    // Counting pass, then prefix-sum into CSR offsets.
+    std::vector<std::uint32_t> cell_sizes(cells, 0);
+    for (const auto& t : spec.transitions()) ++cell_sizes[cell_index(t)];
+    offsets_.assign(cells + 1, 0);
+    for (std::size_t c = 0; c < cells; ++c) {
+      offsets_[c + 1] = offsets_[c] + cell_sizes[c];
+    }
+    entries_.resize(spec.transitions().size());
+    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& t : spec.transitions()) {
+      entries_[cursor[cell_index(t)]++] =
+          Entry{t.out_receiver, t.out_sender, t.rate};
+    }
+    kinds_.assign(cells, CellKind::kNull);
+    for (std::size_t c = 0; c < cells; ++c) {
+      const std::uint32_t len = offsets_[c + 1] - offsets_[c];
+      if (len == 0) continue;
+      kinds_[c] = (len == 1 && entries_[offsets_[c]].rate >= 1.0)
+                      ? CellKind::kDeterministic
+                      : CellKind::kRandomized;
+    }
+  }
+
+  std::uint32_t num_states() const { return num_states_; }
+
+  std::size_t cell(std::uint32_t receiver, std::uint32_t sender) const {
+    return static_cast<std::size_t>(receiver) * num_states_ + sender;
+  }
+
+  CellKind kind(std::size_t cell) const { return kinds_[cell]; }
+  const Entry* begin(std::size_t cell) const { return entries_.data() + offsets_[cell]; }
+  const Entry* end(std::size_t cell) const {
+    return entries_.data() + offsets_[cell + 1];
+  }
+  /// The sole entry of a deterministic cell.
+  const Entry& only(std::size_t cell) const { return entries_[offsets_[cell]]; }
+
+  /// Select the entry of a randomized cell fired by rate draw `u` (uniform in
+  /// [0, 1)), or nullptr for the residual null transition.  Both count
+  /// simulators route their rate draws through here so the cumulative walk
+  /// (and its floating-point residual handling) exists exactly once.
+  const Entry* pick(std::size_t cell, double u) const {
+    for (const Entry* e = begin(cell); e != end(cell); ++e) {
+      if (u < e->rate) return e;
+      u -= e->rate;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::size_t cell_index(const Transition& t) const {
+    return static_cast<std::size_t>(t.in_receiver) * num_states_ + t.in_sender;
+  }
+
+  std::uint32_t num_states_ = 0;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<Entry> entries_;
+  std::vector<CellKind> kinds_;
+};
+
+}  // namespace pops

@@ -1,0 +1,105 @@
+// Chi-square goodness-of-fit machinery for validating samplers and
+// simulators against reference distributions.
+//
+// Two uses in this repo:
+//   * one-sample tests: empirical counts vs an exact pmf (test_discrete);
+//   * two-sample tests: do two simulators draw from the same configuration
+//     distribution (test_batched_count_simulation)?
+// Critical values come from the Wilson–Hilferty cube approximation, accurate
+// to ~1% for df >= 3 — plenty for pass/fail thresholds at alpha = 1e-3.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/require.hpp"
+
+namespace pops {
+
+/// Upper critical value of the chi-square distribution with `df` degrees of
+/// freedom at standard-normal quantile `z` (z = 3.09 ~ alpha = 0.001), via
+/// the Wilson–Hilferty approximation.
+inline double chi_square_critical(std::uint64_t df, double z = 3.09) {
+  POPS_REQUIRE(df >= 1, "chi-square needs at least one degree of freedom");
+  const double d = static_cast<double>(df);
+  const double h = 2.0 / (9.0 * d);
+  const double c = 1.0 - h + z * std::sqrt(h);
+  return d * c * c * c;
+}
+
+/// One-sample chi-square statistic: observed bin counts vs expected counts.
+inline double chi_square_statistic(const std::vector<double>& expected,
+                                   const std::vector<std::uint64_t>& observed) {
+  POPS_REQUIRE(expected.size() == observed.size(),
+               "chi-square needs matching bin vectors");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    POPS_REQUIRE(expected[i] > 0.0, "chi-square bins need positive expectation");
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+struct TwoSampleChiSquare {
+  double statistic = 0.0;
+  std::uint64_t df = 0;
+  bool accept(double z = 3.09) const {
+    return df == 0 || statistic <= chi_square_critical(df, z);
+  }
+};
+
+/// Two-sample chi-square over integer-valued outcomes: merges adjacent
+/// outcomes into bins with pooled count >= `min_pooled`, then tests whether
+/// both samples are plausibly drawn from the same distribution.
+inline TwoSampleChiSquare two_sample_chi_square(
+    const std::map<std::uint64_t, std::uint64_t>& a,
+    const std::map<std::uint64_t, std::uint64_t>& b,
+    std::uint64_t min_pooled = 25) {
+  // Merge the outcome sets, sorted, and greedily bin until pooled mass is
+  // large enough for the asymptotic test to apply.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const auto& [k, c] : a) merged[k].first += c;
+  for (const auto& [k, c] : b) merged[k].second += c;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bins;  // (count_a, count_b)
+  std::uint64_t acc_a = 0, acc_b = 0;
+  for (const auto& [k, counts] : merged) {
+    acc_a += counts.first;
+    acc_b += counts.second;
+    if (acc_a + acc_b >= min_pooled) {
+      bins.emplace_back(acc_a, acc_b);
+      acc_a = acc_b = 0;
+    }
+  }
+  if (acc_a + acc_b > 0) {
+    if (bins.empty()) {
+      bins.emplace_back(acc_a, acc_b);
+    } else {  // fold the undersized tail into the last bin
+      bins.back().first += acc_a;
+      bins.back().second += acc_b;
+    }
+  }
+  std::uint64_t total_a = 0, total_b = 0;
+  for (const auto& [ca, cb] : bins) {
+    total_a += ca;
+    total_b += cb;
+  }
+  TwoSampleChiSquare result;
+  if (bins.size() < 2 || total_a == 0 || total_b == 0) return result;  // df = 0
+  const double n_a = static_cast<double>(total_a);
+  const double n_b = static_cast<double>(total_b);
+  for (const auto& [ca, cb] : bins) {
+    const double pooled = static_cast<double>(ca + cb);
+    const double ea = pooled * n_a / (n_a + n_b);
+    const double eb = pooled * n_b / (n_a + n_b);
+    const double da = static_cast<double>(ca) - ea;
+    const double db = static_cast<double>(cb) - eb;
+    result.statistic += da * da / ea + db * db / eb;
+  }
+  result.df = bins.size() - 1;
+  return result;
+}
+
+}  // namespace pops

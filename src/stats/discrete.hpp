@@ -1,0 +1,219 @@
+// Exact samplers for the classical discrete distributions that power batched
+// population-protocol simulation (ppsim-style, cf. Berenbrink et al. and
+// Doty–Severson): Binomial(n, p) and Hypergeometric(N, K, n), plus the
+// multivariate hypergeometric used to draw a batch's state multiset from the
+// configuration vector.
+//
+// Both samplers switch regimes on the expected count:
+//   * small mean  — sequential inversion of the pmf (O(mean) float ops,
+//     no special functions);
+//   * large mean  — transformed rejection: BTRS (Hörmann 1993) for the
+//     binomial, HRUA* (Stadlober) for the hypergeometric, both O(1) expected
+//     draws per variate.
+// The rejection samplers are exact in structure; like every floating-point
+// implementation (NumPy's included) their acceptance tests carry ~1ulp·|lgamma|
+// absolute error, negligible below N ≈ 10^12.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+
+namespace pops {
+
+namespace detail {
+
+/// Error of the Stirling approximation: log(k!) - [k log k - k + log(2πk)/2],
+/// tabulated for small k, 3-term asymptotic series otherwise (as in BTRS).
+inline double stirling_tail(double k) {
+  static constexpr double kTable[] = {
+      0.08106146679532726, 0.04134069595540929, 0.02767792568499834,
+      0.02079067210376509, 0.01664469118982119, 0.01387612882307075,
+      0.01189670994589177, 0.01041126526197209, 0.00925546218271273,
+      0.00833056343336287};
+  if (k < 10.0) return kTable[static_cast<int>(k)];
+  const double kp1sq = (k + 1.0) * (k + 1.0);
+  return (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / 1260.0 / kp1sq) / kp1sq) / (k + 1.0);
+}
+
+/// Binomial(n, p) via pmf inversion from k = 0.  Requires small mean
+/// (np <~ 14) so the loop terminates quickly; p must be in (0, 1).
+inline std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
+  const double q = 1.0 - p;
+  const double dn = static_cast<double>(n);
+  double f = std::exp(dn * std::log1p(-p));  // (1-p)^n without underflow
+  double u = rng.uniform_double();
+  std::uint64_t k = 0;
+  while (u > f) {
+    u -= f;
+    if (k >= n) break;  // floating-point tail residue
+    ++k;
+    f *= (dn - static_cast<double>(k) + 1.0) * p /
+         (static_cast<double>(k) * q);
+    if (f <= 0.0) break;
+  }
+  return std::min(k, n);
+}
+
+/// Binomial(n, p) via BTRS transformed rejection (Hörmann 1993).  Requires
+/// p in (0, 0.5] and np >= 10.
+inline std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n64, double p) {
+  const double n = static_cast<double>(n64);
+  const double spq = std::sqrt(n * p * (1.0 - p));
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = n * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double r = p / (1.0 - p);
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double m = std::floor((n + 1.0) * p);
+  for (;;) {
+    const double u = rng.uniform_double() - 0.5;
+    double v = rng.uniform_double();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + c);
+    if (k < 0.0 || k > n) continue;
+    // Inside the tight bounding box the squeeze accepts immediately (~95%).
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(k);
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double upper =
+        (m + 0.5) * std::log((m + 1.0) / (r * (n - m + 1.0))) +
+        (n + 1.0) * std::log((n - m + 1.0) / (n - k + 1.0)) +
+        (k + 0.5) * std::log(r * (n - k + 1.0) / (k + 1.0)) +
+        stirling_tail(m) + stirling_tail(n - m) - stirling_tail(k) -
+        stirling_tail(n - k);
+    if (v <= upper) return static_cast<std::uint64_t>(k);
+  }
+}
+
+/// Hypergeometric via the HYP sequential algorithm (Kachitvichyanukul &
+/// Schmeiser); O(sample) time, used for small samples.
+inline std::uint64_t hypergeometric_hyp(Rng& rng, std::uint64_t good,
+                                        std::uint64_t bad, std::uint64_t sample) {
+  const double d1 = static_cast<double>(bad + good - sample);
+  const double d2 = static_cast<double>(std::min(bad, good));
+  double y = d2;
+  std::uint64_t k = sample;
+  while (y > 0.0) {
+    const double u = rng.uniform_double();
+    y -= std::floor(u + y / (d1 + static_cast<double>(k)));
+    --k;
+    if (k == 0) break;
+  }
+  auto z = static_cast<std::uint64_t>(d2 - y);
+  if (good > bad) z = sample - z;
+  return z;
+}
+
+/// Hypergeometric via HRUA* ratio-of-uniforms rejection (Stadlober, as in
+/// NumPy); O(1) expected time, used for larger samples.
+inline std::uint64_t hypergeometric_hrua(Rng& rng, std::uint64_t good,
+                                         std::uint64_t bad, std::uint64_t sample) {
+  constexpr double kD1 = 1.7155277699214135;  // 2*sqrt(2/e)
+  constexpr double kD2 = 0.8989161620588988;  // 3 - 2*sqrt(3/e)
+  const std::uint64_t mingoodbad = std::min(good, bad);
+  const std::uint64_t maxgoodbad = std::max(good, bad);
+  const std::uint64_t popsize = good + bad;
+  const std::uint64_t m = std::min(sample, popsize - sample);
+  const double d4 =
+      static_cast<double>(mingoodbad) / static_cast<double>(popsize);
+  const double d5 = 1.0 - d4;
+  const double d6 = static_cast<double>(m) * d4 + 0.5;
+  const double d7 =
+      std::sqrt(static_cast<double>(popsize - m) * static_cast<double>(sample) *
+                    d4 * d5 / static_cast<double>(popsize - 1) +
+                0.5);
+  const double d8 = kD1 * d7 + kD2;
+  const auto d9 = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(m + 1) * static_cast<double>(mingoodbad + 1) /
+                 static_cast<double>(popsize + 2)));
+  const double d10 = std::lgamma(static_cast<double>(d9) + 1.0) +
+                     std::lgamma(static_cast<double>(mingoodbad - d9) + 1.0) +
+                     std::lgamma(static_cast<double>(m - d9) + 1.0) +
+                     std::lgamma(static_cast<double>(maxgoodbad - m + d9) + 1.0);
+  const double d11 = std::min(static_cast<double>(std::min(m, mingoodbad)) + 1.0,
+                              std::floor(d6 + 16.0 * d7));
+  double z;
+  for (;;) {
+    const double x = rng.uniform_double();
+    const double y = rng.uniform_double();
+    const double w = d6 + d8 * (y - 0.5) / x;
+    if (w < 0.0 || w >= d11) continue;
+    z = std::floor(w);
+    const double t = d10 - (std::lgamma(z + 1.0) +
+                            std::lgamma(static_cast<double>(mingoodbad) - z + 1.0) +
+                            std::lgamma(static_cast<double>(m) - z + 1.0) +
+                            std::lgamma(static_cast<double>(maxgoodbad - m) + z + 1.0));
+    if (x * (4.0 - x) - 3.0 <= t) break;  // squeeze acceptance
+    if (x * (x - t) >= 1.0) continue;     // squeeze rejection
+    if (2.0 * std::log(x) <= t) break;    // full acceptance test
+  }
+  auto result = static_cast<std::uint64_t>(z);
+  if (good > bad) result = m - result;
+  if (m < sample) result = good - result;
+  return result;
+}
+
+}  // namespace detail
+
+/// Exact Binomial(n, p) sample: number of successes in n independent trials
+/// of probability p.
+inline std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
+  POPS_REQUIRE(p >= 0.0 && p <= 1.0, "binomial needs p in [0, 1]");
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - binomial(rng, n, 1.0 - p);
+  if (static_cast<double>(n) * p < 10.0) return detail::binomial_inversion(rng, n, p);
+  return detail::binomial_btrs(rng, n, p);
+}
+
+/// Exact Hypergeometric(N=total, K=good, n=draws) sample: number of good
+/// items in a uniform sample of `draws` items drawn without replacement from
+/// a population of `total` items of which `good` are good.
+inline std::uint64_t hypergeometric(Rng& rng, std::uint64_t total,
+                                    std::uint64_t good, std::uint64_t draws) {
+  POPS_REQUIRE(good <= total, "hypergeometric needs good <= total");
+  POPS_REQUIRE(draws <= total, "hypergeometric needs draws <= total");
+  if (draws == 0 || good == 0) return 0;
+  if (good == total) return draws;
+  if (draws == total) return good;
+  // Complement symmetry: the undrawn items are also a uniform sample, so
+  // sampling the smaller side keeps HYP's loop short and keeps HRUA inside
+  // its validated regime min(draws, total - draws) > 10 (as in NumPy).
+  if (draws > total - draws) {
+    return good - hypergeometric(rng, total, good, total - draws);
+  }
+  const std::uint64_t bad = total - good;
+  if (draws > 10) return detail::hypergeometric_hrua(rng, good, bad, draws);
+  return detail::hypergeometric_hyp(rng, good, bad, draws);
+}
+
+/// Multivariate hypergeometric: partition `draws` items sampled without
+/// replacement from classes with the given `counts` (conditional method —
+/// one univariate hypergeometric per class).  `out` is resized and filled
+/// with the per-class sample counts; it sums to `draws` exactly.
+inline void multivariate_hypergeometric(Rng& rng,
+                                        const std::vector<std::uint64_t>& counts,
+                                        std::uint64_t draws,
+                                        std::vector<std::uint64_t>& out) {
+  out.assign(counts.size(), 0);
+  std::uint64_t remaining_total = 0;
+  for (const auto c : counts) remaining_total += c;
+  POPS_REQUIRE(draws <= remaining_total,
+               "multivariate hypergeometric needs draws <= total count");
+  std::uint64_t remaining_draws = draws;
+  for (std::size_t i = 0; i < counts.size() && remaining_draws > 0; ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t k =
+        hypergeometric(rng, remaining_total, counts[i], remaining_draws);
+    out[i] = k;
+    remaining_draws -= k;
+    remaining_total -= counts[i];
+  }
+}
+
+}  // namespace pops

@@ -1,0 +1,264 @@
+// Chi-square goodness-of-fit tests for the exact discrete samplers
+// (stats/discrete.hpp) across their small (inversion) and large (rejection)
+// parameter regimes.  All seeds are fixed, so the tests are deterministic;
+// thresholds use alpha = 0.001.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stats/chi_square.hpp"
+#include "stats/discrete.hpp"
+
+namespace pops {
+namespace {
+
+double log_binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  return std::lgamma(dn + 1.0) - std::lgamma(dk + 1.0) -
+         std::lgamma(dn - dk + 1.0) + dk * std::log(p) +
+         (dn - dk) * std::log1p(-p);
+}
+
+double log_hypergeometric_pmf(std::uint64_t total, std::uint64_t good,
+                              std::uint64_t draws, std::uint64_t k) {
+  auto log_choose = [](std::uint64_t n, std::uint64_t r) {
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(r) + 1.0) -
+           std::lgamma(static_cast<double>(n - r) + 1.0);
+  };
+  return log_choose(good, k) + log_choose(total - good, draws - k) -
+         log_choose(total, draws);
+}
+
+/// Bin a sampler's output over support [lo, hi] against an exact log-pmf:
+/// per-value bins in the bulk, with everything < lo pooled into the first bin
+/// and everything > hi pooled into the last, then adjacent bins merged until
+/// each expects >= 10 samples.  Returns the chi-square verdict.
+template <typename Sampler, typename LogPmf>
+void expect_matches_pmf(Sampler&& draw, LogPmf&& log_pmf, std::uint64_t lo,
+                        std::uint64_t hi, std::uint64_t support_lo,
+                        std::uint64_t support_hi, std::uint64_t samples) {
+  // Exact probabilities per value plus pooled tails.
+  std::vector<double> prob(hi - lo + 1, 0.0);
+  for (std::uint64_t k = support_lo; k <= support_hi; ++k) {
+    const double p = std::exp(log_pmf(k));
+    const std::uint64_t bin = k < lo ? 0 : (k > hi ? hi - lo : k - lo);
+    prob[bin] += p;
+  }
+  std::vector<std::uint64_t> observed(prob.size(), 0);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const std::uint64_t k = draw();
+    ASSERT_GE(k, support_lo);
+    ASSERT_LE(k, support_hi);
+    const std::uint64_t bin = k < lo ? 0 : (k > hi ? hi - lo : k - lo);
+    ++observed[bin];
+  }
+  // Merge adjacent bins until every expected count is >= 10.
+  std::vector<double> expected_merged;
+  std::vector<std::uint64_t> observed_merged;
+  double acc_e = 0.0;
+  std::uint64_t acc_o = 0;
+  for (std::size_t i = 0; i < prob.size(); ++i) {
+    acc_e += prob[i] * static_cast<double>(samples);
+    acc_o += observed[i];
+    if (acc_e >= 10.0) {
+      expected_merged.push_back(acc_e);
+      observed_merged.push_back(acc_o);
+      acc_e = 0.0;
+      acc_o = 0;
+    }
+  }
+  if (acc_o > 0 || acc_e > 0.0) {
+    if (expected_merged.empty()) {
+      expected_merged.push_back(std::max(acc_e, 1e-9));
+      observed_merged.push_back(acc_o);
+    } else {
+      expected_merged.back() += acc_e;
+      observed_merged.back() += acc_o;
+    }
+  }
+  ASSERT_GE(expected_merged.size(), 3u) << "degenerate binning";
+  const double stat = chi_square_statistic(expected_merged, observed_merged);
+  const double crit = chi_square_critical(expected_merged.size() - 1);
+  EXPECT_LE(stat, crit) << "chi-square " << stat << " over " << crit << " with "
+                        << expected_merged.size() << " bins";
+}
+
+struct Range {
+  std::uint64_t lo, hi;
+};
+
+Range bulk_range(double mean, double sd, std::uint64_t support_lo,
+                 std::uint64_t support_hi) {
+  const double lo = std::floor(mean - 6.0 * sd);
+  const double hi = std::ceil(mean + 6.0 * sd);
+  Range r;
+  r.lo = lo <= static_cast<double>(support_lo) ? support_lo
+                                               : static_cast<std::uint64_t>(lo);
+  r.hi = hi >= static_cast<double>(support_hi) ? support_hi
+                                               : static_cast<std::uint64_t>(hi);
+  return r;
+}
+
+TEST(Binomial, SmallMeanInversionMatchesPmf) {
+  Rng rng(1001);
+  const std::uint64_t n = 25;
+  const double p = 0.3;  // np = 7.5 -> inversion path
+  const auto r = bulk_range(n * p, std::sqrt(n * p * (1 - p)), 0, n);
+  expect_matches_pmf([&] { return binomial(rng, n, p); },
+                     [&](std::uint64_t k) { return log_binomial_pmf(n, p, k); },
+                     r.lo, r.hi, 0, n, 40000);
+}
+
+TEST(Binomial, TinyMeanLargeNMatchesPmf) {
+  Rng rng(1002);
+  const std::uint64_t n = 2'000'000;
+  const double p = 2e-6;  // np = 4: inversion with huge n, (1-p)^n via log1p
+  expect_matches_pmf([&] { return binomial(rng, n, p); },
+                     [&](std::uint64_t k) { return log_binomial_pmf(n, p, k); },
+                     0, 16, 0, n, 40000);
+}
+
+TEST(Binomial, LargeMeanBtrsMatchesPmf) {
+  Rng rng(1003);
+  const std::uint64_t n = 100000;
+  const double p = 0.37;  // np huge -> BTRS
+  const auto r = bulk_range(n * p, std::sqrt(n * p * (1 - p)), 0, n);
+  expect_matches_pmf([&] { return binomial(rng, n, p); },
+                     [&](std::uint64_t k) { return log_binomial_pmf(n, p, k); },
+                     r.lo, r.hi, 0, n, 40000);
+}
+
+TEST(Binomial, HighPSymmetryMatchesPmf) {
+  Rng rng(1004);
+  const std::uint64_t n = 5000;
+  const double p = 0.83;  // exercises the p > 1/2 reflection + BTRS
+  const auto r = bulk_range(n * p, std::sqrt(n * p * (1 - p)), 0, n);
+  expect_matches_pmf([&] { return binomial(rng, n, p); },
+                     [&](std::uint64_t k) { return log_binomial_pmf(n, p, k); },
+                     r.lo, r.hi, 0, n, 40000);
+}
+
+TEST(Binomial, Edges) {
+  Rng rng(1005);
+  EXPECT_EQ(binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(rng, 100, 1.0), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const auto k = binomial(rng, 3, 0.5);
+    EXPECT_LE(k, 3u);
+  }
+  EXPECT_THROW(binomial(rng, 10, 1.5), std::invalid_argument);
+}
+
+TEST(Hypergeometric, SmallSampleHypMatchesPmf) {
+  Rng rng(2001);
+  const std::uint64_t total = 60, good = 25, draws = 8;  // draws <= 10 -> HYP
+  expect_matches_pmf(
+      [&] { return hypergeometric(rng, total, good, draws); },
+      [&](std::uint64_t k) { return log_hypergeometric_pmf(total, good, draws, k); },
+      0, draws, 0, draws, 40000);
+}
+
+TEST(Hypergeometric, LargeSampleHruaMatchesPmf) {
+  Rng rng(2002);
+  const std::uint64_t total = 1'000'000, good = 300'000, draws = 5000;
+  const double mean = static_cast<double>(draws) * 0.3;
+  const double var = mean * 0.7 *
+                     static_cast<double>(total - draws) /
+                     static_cast<double>(total - 1);
+  const auto r = bulk_range(mean, std::sqrt(var), 0, draws);
+  expect_matches_pmf(
+      [&] { return hypergeometric(rng, total, good, draws); },
+      [&](std::uint64_t k) { return log_hypergeometric_pmf(total, good, draws, k); },
+      r.lo, r.hi, 0, draws, 40000);
+}
+
+TEST(Hypergeometric, SampleBeyondHalfPopulationMatchesPmf) {
+  // draws > total/2 exercises the m < sample reflection in HRUA.
+  Rng rng(2003);
+  const std::uint64_t total = 1000, good = 400, draws = 800;
+  const std::uint64_t klo = good + draws - total;  // support is [200, 400]
+  const double frac = static_cast<double>(good) / static_cast<double>(total);
+  const double mean = static_cast<double>(draws) * frac;
+  const double var = mean * (1 - frac) *
+                     static_cast<double>(total - draws) /
+                     static_cast<double>(total - 1);
+  const auto r = bulk_range(mean, std::sqrt(var), klo, good);
+  expect_matches_pmf(
+      [&] { return hypergeometric(rng, total, good, draws); },
+      [&](std::uint64_t k) { return log_hypergeometric_pmf(total, good, draws, k); },
+      r.lo, r.hi, klo, good, 40000);
+}
+
+TEST(Hypergeometric, GoodMajorityMatchesPmf) {
+  // good > bad exercises the good > bad reflection.
+  Rng rng(2004);
+  const std::uint64_t total = 1000, good = 700, draws = 100;
+  const double frac = 0.7;
+  const double mean = static_cast<double>(draws) * frac;
+  const double var = mean * (1 - frac) *
+                     static_cast<double>(total - draws) /
+                     static_cast<double>(total - 1);
+  const auto r = bulk_range(mean, std::sqrt(var), 0, draws);
+  expect_matches_pmf(
+      [&] { return hypergeometric(rng, total, good, draws); },
+      [&](std::uint64_t k) { return log_hypergeometric_pmf(total, good, draws, k); },
+      r.lo, r.hi, 0, draws, 40000);
+}
+
+TEST(Hypergeometric, Edges) {
+  Rng rng(2005);
+  EXPECT_EQ(hypergeometric(rng, 100, 0, 50), 0u);
+  EXPECT_EQ(hypergeometric(rng, 100, 100, 50), 50u);
+  EXPECT_EQ(hypergeometric(rng, 100, 30, 0), 0u);
+  EXPECT_EQ(hypergeometric(rng, 100, 30, 100), 30u);
+  EXPECT_THROW(hypergeometric(rng, 10, 11, 5), std::invalid_argument);
+  EXPECT_THROW(hypergeometric(rng, 10, 5, 11), std::invalid_argument);
+  // Result always within the hypergeometric support.
+  for (int i = 0; i < 2000; ++i) {
+    const auto k = hypergeometric(rng, 40, 15, 30);
+    EXPECT_GE(k, 5u);   // draws - bad = 30 - 25
+    EXPECT_LE(k, 15u);  // good
+  }
+}
+
+TEST(MultivariateHypergeometric, MarginalsAndTotals) {
+  Rng rng(3001);
+  const std::vector<std::uint64_t> counts{50, 70, 0, 90};
+  const std::uint64_t draws = 60;
+  std::vector<std::uint64_t> out;
+  std::vector<std::uint64_t> sums(counts.size(), 0);
+  const std::uint64_t reps = 30000;
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    multivariate_hypergeometric(rng, counts, draws, out);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_LE(out[i], counts[i]);
+      total += out[i];
+      sums[i] += out[i];
+    }
+    ASSERT_EQ(total, draws);
+  }
+  // Marginal means: draws * counts[i] / total_count (= 60 * c / 210).
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double mean = static_cast<double>(sums[i]) / static_cast<double>(reps);
+    const double expect = 60.0 * static_cast<double>(counts[i]) / 210.0;
+    EXPECT_NEAR(mean, expect, 0.08) << "class " << i;
+  }
+}
+
+TEST(Discrete, DeterministicForSameSeed) {
+  Rng a(77), b(77);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(binomial(a, 1000, 0.25), binomial(b, 1000, 0.25));
+    EXPECT_EQ(hypergeometric(a, 10000, 4000, 500),
+              hypergeometric(b, 10000, 4000, 500));
+  }
+}
+
+}  // namespace
+}  // namespace pops

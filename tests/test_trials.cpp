@@ -1,0 +1,52 @@
+// The parallel trial harness must be bit-identical to the serial one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/trials.hpp"
+#include "proto/epidemic.hpp"
+#include "sim/batched_count_simulation.hpp"
+
+namespace pops {
+namespace {
+
+TEST(Trials, ParallelMatchesSerialForAnyThreadCount) {
+  auto trial = [](std::uint64_t seed, std::uint64_t) -> std::uint64_t {
+    BatchedCountSimulation sim(epidemic_spec(), seed);
+    sim.set_count("S", 995);
+    sim.set_count("I", 5);
+    sim.advance_time(3.0);
+    return sim.count("I");
+  };
+  const auto serial = run_trials(64, 0xFEED, trial);
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    const auto parallel = run_trials_parallel(64, 0xFEED, trial, threads);
+    ASSERT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(Trials, ParallelBoolResultsAreRaceFree) {
+  // vector<bool> bit-packing must not be used for the cross-thread buffer.
+  auto trial = [](std::uint64_t seed, std::uint64_t) -> bool {
+    BatchedCountSimulation sim(epidemic_spec(), seed);
+    sim.set_count("S", 495);
+    sim.set_count("I", 5);
+    sim.advance_time(6.0);
+    return sim.count("S") == 0;
+  };
+  const auto serial = run_trials(128, 0xB001, trial);
+  const auto parallel = run_trials_parallel(128, 0xB001, trial, 8);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(Trials, ParallelHandlesEdgeSizes) {
+  auto trial = [](std::uint64_t seed, std::uint64_t index) {
+    return seed ^ index;
+  };
+  EXPECT_TRUE(run_trials_parallel(0, 1, trial, 4).empty());
+  EXPECT_EQ(run_trials_parallel(1, 1, trial, 4), run_trials(1, 1, trial));
+  EXPECT_EQ(run_trials_parallel(5, 1, trial, 16), run_trials(5, 1, trial));
+}
+
+}  // namespace
+}  // namespace pops
