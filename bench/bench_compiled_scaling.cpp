@@ -1,0 +1,155 @@
+// COMPILED — the paper's headline constructions, compiled to FiniteSpecs and
+// run on the batched Θ(√n)-per-epoch engine at n = 10^8 … 10^12.
+//
+// Per configuration the bench reports three things as JSON
+// (./bench_compiled_scaling > BENCH_compiled.json):
+//
+//   * compile — state count, transition count, compile time: the measured
+//     size of the bounded-field regime (the paper's Θ(log⁴ n) with log n
+//     frozen at the cap);
+//   * equivalence — a two-sample chi-square of compiled-batched vs direct
+//     AgentSimulation at an overlapping n (trials fan out over threads via
+//     run_trials_parallel);
+//   * scaling — throughput at n = 10^8 … max-n under a fixed interaction
+//     budget, plus protocol observables.  AgentSimulation needs Θ(n) memory
+//     (≳ 4 GB at n = 10^8 for Log-Size-Estimation) and is simply absent
+//     above that, which is the point of the compile-to-counts pipeline.
+//
+// POPS_BENCH_SCALE=0 stops at 10^9 and skips the multi-thousand-state
+// preset; =2 (or --max-n=1000000000000) sweeps to 10^12.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "compile/compiler.hpp"
+#include "compile/headline.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/equivalence.hpp"
+#include "sim/batched_count_simulation.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+bool first_entry = true;
+
+void begin_config(const char* name) {
+  std::printf("%s    {\"config\": \"%s\",\n", first_entry ? "" : ",\n", name);
+  first_entry = false;
+}
+
+/// One full report for a compiled protocol: compile stats, chi-square
+/// equivalence at small n, throughput sweep to max_n.
+template <typename P, typename Obs>
+void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t max_n,
+            std::uint64_t eq_interactions, std::uint64_t eq_seed, Obs&& observable,
+            const char* obs_name) {
+  begin_config(name);
+
+  auto t0 = std::chrono::steady_clock::now();
+  const auto compiled = pops::ProtocolCompiler<P>(proto, cap).compile();
+  const double compile_secs = seconds_since(t0);
+  std::printf("     \"compile\": {\"states\": %u, \"transitions\": %zu, \"pairs\": %" PRIu64
+              ", \"paths\": %" PRIu64 ", \"seconds\": %.3f},\n",
+              compiled.num_states(), compiled.num_transitions(), compiled.pairs_explored,
+              compiled.paths_explored, compile_secs);
+
+  // Equivalence at an n both simulators handle, via the same harness the
+  // certification suite uses (harness/equivalence.hpp).
+  {
+    const std::uint64_t n = 1000, trials = pops::by_scale<std::uint64_t>(100, 200, 400);
+    const auto chi = pops::compiled_agent_equivalence(proto, compiled, n, eq_interactions,
+                                                      trials, eq_seed, observable);
+    std::printf("     \"equivalence\": {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
+                ", \"trials\": %" PRIu64
+                ", \"observable\": \"%s\", \"chi2\": %.3f, \"df\": %" PRIu64
+                ", \"accept\": %s},\n",
+                n, eq_interactions, trials, obs_name, chi.statistic, chi.df,
+                chi.accept() ? "true" : "false");
+  }
+
+  // Throughput sweep.  Fixed interaction budget per point: enough epochs to
+  // be representative (≥ ~100 even at 10^12 where an epoch is ~1.25e6
+  // interactions), small enough that the whole sweep stays interactive.
+  // One simulator serves every point (reset() per n) — rebuilding the CSR
+  // dispatch table per point would dwarf the smaller sweeps for the
+  // multi-thousand-state presets.
+  std::printf("     \"scaling\": [\n");
+  bool first_point = true;
+  pops::BatchedCountSimulation sim(compiled.spec, 0);
+  for (std::uint64_t n = 100000000ULL; n <= max_n; n *= 10) {
+    sim.reset(0xBEEF ^ n);
+    pops::Rng seeder(0x5EED ^ n);
+    compiled.seed_initial(sim, n, seeder);
+    const std::uint64_t work = 200000000ULL;
+    t0 = std::chrono::steady_clock::now();
+    sim.steps(work);
+    const double secs = seconds_since(t0);
+    const std::uint64_t obs = compiled.count_matching(sim.counts(), observable);
+    std::printf("%s       {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
+                ", \"seconds\": %.4f, \"interactions_per_sec\": %.4e, "
+                "\"parallel_time\": %.6g, \"%s\": %" PRIu64 "}",
+                first_point ? "" : ",\n", n, work, secs,
+                static_cast<double>(work) / secs, sim.time(), obs_name, obs);
+    first_point = false;
+    std::fflush(stdout);
+  }
+  std::printf("\n     ]}");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t max_n =
+      pops::by_scale<std::uint64_t>(1000000000ULL, 100000000000ULL, 1000000000000ULL);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-n=", 8) == 0) {
+      max_n = std::strtoull(argv[i] + 8, nullptr, 10);
+    }
+  }
+
+  std::printf("{\n  \"bench\": \"bench_compiled_scaling\",\n  \"configs\": [\n");
+
+  {
+    const auto proto = pops::log_size_tiny();
+    // Observable: worker count — ~Binomial(n, 1/2) spread across trials once
+    // Partition-Into-A/S completes (Lemma 3.2), so the chi-square has real
+    // degrees of freedom at any horizon (completion-style observables are
+    // degenerate at n = 1000 until far later; the test suite covers those at
+    // n = 128 where their horizons are calibrated).
+    report("log_size_estimation/tiny", proto, proto.geometric_cap(), max_n,
+           /*eq_interactions=*/25000, /*eq_seed=*/0x9E10,
+           [](const pops::LogSizeEstimation::State& s) { return s.role == pops::Role::A; },
+           "workers");
+  }
+  if (pops::bench_scale() >= 1) {
+    const auto proto = pops::log_size_small();
+    report("log_size_estimation/small", proto, proto.geometric_cap(), max_n,
+           /*eq_interactions=*/30000, /*eq_seed=*/0x9E11,
+           [](const pops::LogSizeEstimation::State& s) { return s.role == pops::Role::A; },
+           "workers");
+  }
+  {
+    const auto proto = pops::bounded_majority(0.55);
+    report("uniform_majority/bias_0.55", proto, proto.geometric_cap(), max_n,
+           /*eq_interactions=*/1000, /*eq_seed=*/0x9E12,
+           [](const pops::Composed<pops::VotedMajorityStage>::State& s) {
+             return s.down.output > 0;
+           },
+           "output_positive");
+  }
+  {
+    const auto proto = pops::bounded_leader_election(4);
+    report("uniform_leader_election/bits_4", proto, proto.geometric_cap(), max_n,
+           /*eq_interactions=*/1200, /*eq_seed=*/0x9E13,
+           [](const pops::UniformLeaderElection::State& s) { return s.down.contender; },
+           "contenders");
+  }
+
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -2,8 +2,17 @@
 // Corollaries 3.4/3.5): E[T] = ((n−1)/n) H_{n−1} ≈ ln n; upper tail
 // Pr[T > 24 ln n] < 4 n^{−5}; subpopulation (a = n/3) epidemics complete
 // within 24 ln a w.p. >= 1 − 27 n^{−3} and are a constant factor slower.
+//
+// Runs on `BatchedCountSimulation` (Θ(√n) interactions per RNG epoch) by
+// default, which is what makes the n = 10^5–10^6 rows cheap; pass
+// --sequential to use the per-interaction `CountSimulation` instead (useful
+// for A/B-ing the engines — both are distribution-exact for the same chain).
+// Trials fan out over threads via run_trials_parallel: per-trial seed
+// streams depend only on (master seed, index), so results are identical
+// whatever the thread count.
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -11,49 +20,44 @@
 #include "harness/table.hpp"
 #include "harness/trials.hpp"
 #include "proto/epidemic.hpp"
+#include "sim/batched_count_simulation.hpp"
 #include "sim/count_simulation.hpp"
 #include "stats/bounds.hpp"
 #include "stats/summary.hpp"
 
 namespace {
 
+template <typename Sim>
 double full_epidemic_time(std::uint64_t n, std::uint64_t seed) {
-  pops::CountSimulation sim(pops::epidemic_spec(), seed);
+  Sim sim(pops::epidemic_spec(), seed);
   sim.set_count("S", n - 1);
   sim.set_count("I", 1);
-  return sim.run_until([](const pops::CountSimulation& s) { return s.count("S") == 0; },
-                       0.25, 1e7);
+  return sim.run_until([](const Sim& s) { return s.count("S") == 0; }, 0.25, 1e7);
 }
 
+template <typename Sim>
 double subpopulation_epidemic_time(std::uint64_t n, std::uint64_t seed) {
   const std::uint64_t active = n / 3;
-  pops::CountSimulation sim(pops::subpopulation_epidemic_spec(), seed);
+  Sim sim(pops::subpopulation_epidemic_spec(), seed);
   sim.set_count("S", active - 1);
   sim.set_count("I", 1);
   sim.set_count("B", n - active);
-  return sim.run_until([](const pops::CountSimulation& s) { return s.count("S") == 0; },
-                       0.25, 1e7);
+  return sim.run_until([](const Sim& s) { return s.count("S") == 0; }, 0.25, 1e7);
 }
 
-}  // namespace
-
-int main() {
+template <typename Sim>
+void run(std::uint64_t trials, const std::vector<std::uint64_t>& sizes) {
   using pops::Table;
-  pops::banner("EPI: epidemic completion time vs Lemma A.1 / Corollaries 3.4-3.5");
-
-  const std::uint64_t trials = pops::by_scale<std::uint64_t>(10, 40, 100);
-  const std::vector<std::uint64_t> sizes = pops::bench_scale() == 0
-                                               ? std::vector<std::uint64_t>{1000, 10000}
-                                               : std::vector<std::uint64_t>{1000, 10000,
-                                                                            100000, 1000000};
 
   Table full({"n", "mean_T", "E[T]_lemmaA1", "max_T", "24*ln(n)", "tail_viol"});
   for (const auto n : sizes) {
+    const auto times = pops::run_trials_parallel(
+        trials, 0xE21 + n,
+        [&](std::uint64_t seed, std::uint64_t) { return full_epidemic_time<Sim>(n, seed); });
     pops::Summary s;
     std::uint64_t violations = 0;
     const double cap = 24.0 * std::log(static_cast<double>(n));
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      const double v = full_epidemic_time(n, pops::trial_seed(0xE21, n + t));
+    for (const double v : times) {
       s.add(v);
       violations += v > cap ? 1 : 0;
     }
@@ -67,12 +71,17 @@ int main() {
   Table sub({"n", "a=n/3", "mean_T", "max_T", "24*ln(a)", "mean_slowdown_vs_full"});
   for (const auto n : sizes) {
     if (n > 100000) continue;  // subpopulation runs are ~9x slower
-    pops::Summary s, f;
     const std::uint64_t a = n / 3;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      s.add(subpopulation_epidemic_time(n, pops::trial_seed(0xE22, n + t)));
-      f.add(full_epidemic_time(n, pops::trial_seed(0xE23, n + t)));
-    }
+    const auto sub_times = pops::run_trials_parallel(
+        trials, 0xE22 + n, [&](std::uint64_t seed, std::uint64_t) {
+          return subpopulation_epidemic_time<Sim>(n, seed);
+        });
+    const auto full_times = pops::run_trials_parallel(
+        trials, 0xE23 + n,
+        [&](std::uint64_t seed, std::uint64_t) { return full_epidemic_time<Sim>(n, seed); });
+    pops::Summary s, f;
+    for (const double v : sub_times) s.add(v);
+    for (const double v : full_times) f.add(v);
     sub.row({Table::num(n), Table::num(a), Table::num(s.mean(), 2), Table::num(s.max(), 2),
              Table::num(24.0 * std::log(static_cast<double>(a)), 1),
              Table::num(s.mean() / f.mean(), 2)});
@@ -81,5 +90,31 @@ int main() {
   sub.print();
   std::cout << "\nexpected: mean_T tracks E[T] ~ ln n; no tail violations; subpopulation\n"
             << "slowdown a constant factor (theory: ~n^2/a^2 / (n/a) interactions ratio).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool sequential = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sequential") == 0) sequential = true;
+  }
+
+  pops::banner("EPI: epidemic completion time vs Lemma A.1 / Corollaries 3.4-3.5");
+  std::cout << "engine: " << (sequential ? "CountSimulation (--sequential)"
+                                         : "BatchedCountSimulation (default)")
+            << "\n";
+
+  const std::uint64_t trials = pops::by_scale<std::uint64_t>(10, 40, 100);
+  const std::vector<std::uint64_t> sizes = pops::bench_scale() == 0
+                                               ? std::vector<std::uint64_t>{1000, 10000}
+                                               : std::vector<std::uint64_t>{1000, 10000,
+                                                                            100000, 1000000};
+
+  if (sequential) {
+    run<pops::CountSimulation>(trials, sizes);
+  } else {
+    run<pops::BatchedCountSimulation>(trials, sizes);
+  }
   return 0;
 }

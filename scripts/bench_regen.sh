@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate the committed perf-trajectory artifacts (BENCH_*.json) with one
+# command per PR: rebuild Release, rerun the JSON-emitting benches, rewrite
+# the files in the repo root.  Diff interactions_per_sec across PRs to track
+# the trajectory (ROADMAP "Perf trajectory").
+#
+# Usage: scripts/bench_regen.sh [--max-n=N]
+#   --max-n caps the batched/compiled sweeps (default 10^9 batched,
+#   bench-scale default for compiled); POPS_BENCH_SCALE=0/1/2 scales the
+#   compiled bench's trial counts and presets as usual.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Plain string, not an array: expanding an empty array under `set -u`
+# aborts on bash < 4.4 (macOS ships 3.2).
+MAX_N_ARG=""
+for arg in "$@"; do
+  case "$arg" in
+    --max-n=*) MAX_N_ARG="$arg" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j --target bench_batched bench_compiled_scaling
+
+# bench_micro exists only when google-benchmark was found at configure time
+# (find_package(benchmark QUIET) in CMakeLists).  Probe the configure result,
+# not a possibly-stale binary, and let a real build failure abort loudly
+# (set -e) instead of silently keeping an old BENCH_micro.json.
+if grep -q '^benchmark_DIR:PATH=[^-]' build/CMakeCache.txt 2>/dev/null &&
+   ! grep -q '^benchmark_DIR:PATH=.*-NOTFOUND' build/CMakeCache.txt; then
+  cmake --build build -j --target bench_micro
+  echo "== bench_micro -> BENCH_micro.json"
+  ./build/bench_micro > BENCH_micro.json
+else
+  echo "== bench_micro skipped (google-benchmark not found at configure time)"
+fi
+
+echo "== bench_batched -> BENCH_batched.json"
+./build/bench_batched $MAX_N_ARG > BENCH_batched.json
+
+echo "== bench_compiled_scaling -> BENCH_compiled.json"
+./build/bench_compiled_scaling $MAX_N_ARG > BENCH_compiled.json
+
+echo "done: BENCH_micro.json BENCH_batched.json BENCH_compiled.json"

@@ -1,0 +1,124 @@
+// Bounded-field regime adapter: fix a max field value so an unbounded
+// protocol becomes finite-state (ROADMAP: "fix a max field value, emit a
+// FiniteSpec").
+//
+// Theorem 3.1's protocol keeps Θ(polylog n) reachable values in its fields,
+// so its exact state space grows with n and only `AgentSimulation` can run
+// it.  `Bounded<P>` pins the regime with a single knob, the geometric cap:
+//
+//   * every geometric_fair() draw is replaced by min(draw, cap) via
+//     `CapGeometric` — the truncated law matching `ChoiceRng`
+//     (compile/choice.hpp), so the same `Bounded<P>` object runs under
+//     `AgentSimulation` and compiles to a `FiniteSpec`;
+//   * after every transition (and the initial draw) the protocol's own
+//     `saturate` hook clamps each derived field at the ceiling implied by
+//     the cap and canonicalizes fields that no longer influence behavior.
+//
+// Saturation semantics, the contract `saturate` implementations follow:
+//
+//   1. A counter compared only via `>= threshold` saturates *at* the
+//      threshold.  Behavior-preserving: every comparison result is
+//      unchanged (Log-Size-Estimation's `time`, which keeps ticking in the
+//      unbounded protocol while an agent waits to deposit).
+//   2. A field that is dead in the agent's current mode — readable only
+//      after an event that also overwrites it — is canonicalized to a fixed
+//      value so stale values do not multiply the state space (a finished
+//      worker's g.r.v., which only a Restart can resurrect, and the Restart
+//      redraws it).
+//   3. A genuinely value-carrying field is clamped at its invariant bound
+//      (the storage sum, bounded by epochs × cap).  The clamp never binds on
+//      reachable states; it makes the state space finite by construction
+//      rather than by proof.
+//
+// Rules 1 and 2 are exact; rule 3 is exact on reachable states.  Hence
+// `Bounded<P>` under `AgentSimulation` and the compiled `FiniteSpec` under
+// the count simulators induce *identical* distributions (certified by the
+// chi-square suite in tests/test_compiled_equivalence.cpp), while Bounded
+// deviates from the unbounded P only on executions where some draw would
+// have exceeded the cap — probability ≲ n·2^−cap per epoch of draws, so a
+// cap of log2(n) + c covers all draws w.p. 1 − O(2^−c).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+
+namespace pops {
+
+/// Pass-through RandomSource that truncates geometric draws at `cap`.
+template <RandomSource R>
+class CapGeometric {
+ public:
+  CapGeometric(R& inner, std::uint32_t cap) : inner_(inner), cap_(cap) {}
+
+  bool coin() { return inner_.coin(); }
+  std::uint32_t geometric_fair() { return std::min(inner_.geometric_fair(), cap_); }
+  std::uint64_t below(std::uint64_t n) { return inner_.below(n); }
+  bool bernoulli(double p) { return inner_.bernoulli(p); }
+  double uniform_double() { return inner_.uniform_double(); }
+
+ private:
+  R& inner_;
+  std::uint32_t cap_;
+};
+
+/// A protocol that can run in the bounded-field regime: its transition
+/// algorithm is generic over the RandomSource, it can clamp/canonicalize its
+/// state given the geometric cap, and it emits a canonical label per state
+/// (injective on saturated states) for interning by the compiler.
+template <typename P>
+concept BoundableProtocol =
+    std::copyable<typename P::State> &&
+    requires(const P p, typename P::State& a, typename P::State& b, Rng& rng,
+             std::uint32_t cap) {
+      { p.initial(rng) } -> std::same_as<typename P::State>;
+      p.interact(a, b, rng);
+      p.saturate(a, cap);
+      { p.state_label(a) } -> std::convertible_to<std::string>;
+    };
+
+template <BoundableProtocol P>
+class Bounded {
+ public:
+  using State = typename P::State;
+
+  Bounded(P base, std::uint32_t geometric_cap)
+      : base_(std::move(base)), cap_(geometric_cap) {
+    POPS_REQUIRE(geometric_cap >= 1, "geometric cap must be >= 1");
+  }
+
+  template <RandomSource R>
+  State initial(R& rng) const {
+    CapGeometric<R> capped(rng, cap_);
+    State s = base_.initial(capped);
+    base_.saturate(s, cap_);
+    return s;
+  }
+
+  template <RandomSource R>
+  void interact(State& receiver, State& sender, R& rng) const {
+    CapGeometric<R> capped(rng, cap_);
+    base_.interact(receiver, sender, capped);
+    base_.saturate(receiver, cap_);
+    base_.saturate(sender, cap_);
+  }
+
+  /// Idempotent by the saturate contract; exposed so Bounded<P> is itself
+  /// Boundable (saturating an already-bounded protocol is a no-op).
+  void saturate(State& s, std::uint32_t) const { base_.saturate(s, cap_); }
+
+  std::string state_label(const State& s) const { return base_.state_label(s); }
+
+  std::uint32_t geometric_cap() const { return cap_; }
+  const P& base() const { return base_; }
+
+ private:
+  P base_;
+  std::uint32_t cap_;
+};
+
+}  // namespace pops

@@ -1,0 +1,232 @@
+// Finite-state protocol compiler: agent-level transition algorithm in,
+// `FiniteSpec` out.
+//
+// The paper states its constructions as per-agent programs over fields
+// (Section 3), but the fast count simulators (sim/count_simulation.hpp,
+// sim/batched_count_simulation.hpp) consume the Section-4 object — a finite
+// transition relation with rate constants.  For any `BoundableProtocol`
+// (compile/bounded.hpp) the translation is mechanical, and this compiler
+// performs it:
+//
+//   1. Enumerate the initial states: run `initial` under `ChoiceRng`
+//      (compile/choice.hpp), one replay per randomized branch; accumulate
+//      the exact probability of each distinct resulting state.
+//   2. Close under interaction: for every ordered pair (r, s) of discovered
+//      states, replay `interact` over all branches; each leaf yields an
+//      output pair with a dyadic-exact path probability.  Leaves that leave
+//      both states unchanged become residual null mass; the rest merge into
+//      rated `Transition`s (a,b →ρ c,d).  Newly produced states join the
+//      frontier, so only *reachable* states are ever paired — the closure
+//      itself is the pruning; the full field-product space is never built.
+//      The emitted state set equals the producibility closure Λ^∞_ρ of the
+//      emitted spec from the initial states (termination/producibility.hpp),
+//      which `closure_matches` cross-checks.
+//
+// Encoding / interning scheme: each distinct agent state is identified by
+// its *canonical label* — the string produced by the protocol's
+// `state_label`, required to be injective on saturated states.  `Bounded`'s
+// saturate hook runs before any state reaches the compiler, so labels never
+// see a dead field's stale value; distinct labels really are distinct
+// behaviors.  Labels are interned to dense ids in BFS discovery order, and
+// the id is simultaneously (a) the index into `CompileResult::states` (the
+// typed representative, for evaluating observables on count vectors) and
+// (b) the `FiniteSpec` state id (names registered in the same order), so no
+// translation table is needed between the typed and the compiled world.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "compile/bounded.hpp"
+#include "compile/choice.hpp"
+#include "sim/finite_spec.hpp"
+#include "sim/require.hpp"
+#include "stats/discrete.hpp"
+#include "termination/producibility.hpp"
+
+namespace pops {
+
+/// What the compiler needs: branch-enumerable initial/interact plus the
+/// canonical label.  `Bounded<P>` satisfies this for any BoundableProtocol P.
+template <typename P>
+concept CompilableProtocol =
+    std::copyable<typename P::State> &&
+    requires(const P p, typename P::State& a, typename P::State& b, ChoiceRng& c) {
+      { p.initial(c) } -> std::same_as<typename P::State>;
+      p.interact(a, b, c);
+      { p.state_label(a) } -> std::convertible_to<std::string>;
+    };
+
+struct CompileOptions {
+  std::size_t max_states = 100000;         ///< explosion guard (throws beyond)
+  std::size_t max_transitions = 30000000;  ///< ~720 MB of Transition entries
+};
+
+template <CompilableProtocol P>
+struct CompileResult {
+  FiniteSpec spec;
+  std::vector<typename P::State> states;    ///< dense id -> typed representative
+  std::vector<double> initial_distribution; ///< by id; sums to exactly 1
+  std::uint64_t pairs_explored = 0;
+  std::uint64_t paths_explored = 0;
+
+  std::uint32_t num_states() const { return spec.num_states(); }
+  std::size_t num_transitions() const { return spec.transitions().size(); }
+
+  /// Ids carrying positive initial mass.
+  std::vector<std::uint32_t> initial_states() const {
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < initial_distribution.size(); ++i) {
+      if (initial_distribution[i] > 0.0) ids.push_back(i);
+    }
+    return ids;
+  }
+
+  /// Seed a count-API simulator with the n-agent initial configuration: each
+  /// agent draws independently from `initial_distribution`, realized exactly
+  /// by a chained binomial split (multinomial sampling).
+  template <typename Sim>
+  void seed_initial(Sim& sim, std::uint64_t n, Rng& rng) const {
+    std::uint64_t rem = n;
+    double rest = 1.0;
+    for (std::uint32_t id = 0; id < initial_distribution.size() && rem > 0; ++id) {
+      const double p = initial_distribution[id];
+      if (p <= 0.0) continue;
+      const std::uint64_t k = p >= rest ? rem : binomial(rng, rem, p / rest);
+      if (k > 0) sim.set_count(id, k);
+      rem -= k;
+      rest -= p;
+    }
+    POPS_REQUIRE(rem == 0, "initial distribution left agents unassigned");
+  }
+
+  /// Typed observable on a count vector: total count over states satisfying
+  /// `pred` (a predicate on P::State).
+  template <typename Pred>
+  std::uint64_t count_matching(const std::vector<std::uint64_t>& counts,
+                               Pred&& pred) const {
+    POPS_REQUIRE(counts.size() == states.size(), "count vector/spec size mismatch");
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] != 0 && pred(states[i])) total += counts[i];
+    }
+    return total;
+  }
+};
+
+/// Cross-check against the Section-4 machinery: the producibility closure of
+/// the emitted spec from the initial states must cover exactly the interned
+/// state set (BFS discovery and the Λ^m_ρ chain agree).  Quadratic-ish in
+/// spec size — intended for tests on small compiled specs.
+template <CompilableProtocol P>
+bool closure_matches(const CompileResult<P>& result) {
+  const auto init = result.initial_states();
+  ProducibilityClosure closure(result.spec,
+                               std::set<std::uint32_t>(init.begin(), init.end()),
+                               result.num_states(), 0.0);
+  return closure.closure().size() == result.num_states();
+}
+
+template <CompilableProtocol P>
+class ProtocolCompiler {
+ public:
+  /// `geometric_cap` bounds branch enumeration of geometric draws and must
+  /// match the cap the protocol simulates with (compile_bounded ties them).
+  ProtocolCompiler(P protocol, std::uint32_t geometric_cap, CompileOptions opts = {})
+      : proto_(std::move(protocol)), cap_(geometric_cap), opts_(opts) {}
+
+  CompileResult<P> compile() {
+    CompileResult<P> out;
+    // Initial states and their exact distribution.
+    enumerate_choices(cap_, [&](ChoiceRng& rng) {
+      typename P::State s = proto_.initial(rng);
+      const std::uint32_t id = intern(s, out);
+      if (out.initial_distribution.size() < out.states.size()) {
+        out.initial_distribution.resize(out.states.size(), 0.0);
+      }
+      out.initial_distribution[id] += rng.path_probability();
+    });
+    // Reachable-pair closure.  Processing state u pairs it (both orders)
+    // with every state discovered no later than u; states discovered during
+    // u's row get larger ids and handle the (u, ·) pairs on their own turn —
+    // every ordered pair of reachable states is explored exactly once.
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> cell;
+    for (std::uint32_t u = 0; u < out.states.size(); ++u) {
+      for (std::uint32_t v = 0; v <= u; ++v) {
+        explore(u, v, out, cell);
+        if (v != u) explore(v, u, out, cell);
+      }
+    }
+    out.initial_distribution.resize(out.states.size(), 0.0);
+    out.spec.validate();
+    return out;
+  }
+
+ private:
+  /// Enumerate all interaction branches of ordered input pair (r, s), merge
+  /// per-output probabilities, and emit rated transitions (identity outputs
+  /// stay residual null mass).
+  void explore(std::uint32_t r, std::uint32_t s, CompileResult<P>& out,
+               std::vector<std::tuple<std::uint32_t, std::uint32_t, double>>& cell) {
+    cell.clear();
+    enumerate_choices(cap_, [&](ChoiceRng& rng) {
+      typename P::State a = out.states[r];  // fresh copies per path; intern()
+      typename P::State b = out.states[s];  // below may grow `states`
+      proto_.interact(a, b, rng);
+      ++out.paths_explored;
+      const std::uint32_t oa = intern(a, out);
+      const std::uint32_t ob = intern(b, out);
+      if (oa == r && ob == s) return;  // null path
+      const double p = rng.path_probability();
+      for (auto& [cr, cs, cp] : cell) {
+        if (cr == oa && cs == ob) {
+          cp += p;
+          return;
+        }
+      }
+      cell.emplace_back(oa, ob, p);
+    });
+    ++out.pairs_explored;
+    for (const auto& [cr, cs, p] : cell) {
+      out.spec.add(r, s, cr, cs, p > 1.0 ? 1.0 : p);
+    }
+    POPS_REQUIRE(out.num_transitions() <= opts_.max_transitions,
+                 "transition explosion: raise CompileOptions.max_transitions or "
+                 "lower the field caps");
+  }
+
+  std::uint32_t intern(const typename P::State& s, CompileResult<P>& out) {
+    std::string label = proto_.state_label(s);
+    const auto [it, inserted] =
+        ids_.try_emplace(std::move(label), static_cast<std::uint32_t>(out.states.size()));
+    if (inserted) {
+      POPS_REQUIRE(out.states.size() < opts_.max_states,
+                   "state-space explosion: raise CompileOptions.max_states or "
+                   "lower the field caps");
+      out.states.push_back(s);
+      const std::uint32_t spec_id = out.spec.state(it->first);
+      POPS_REQUIRE(spec_id == it->second, "spec/compiler id order diverged");
+    }
+    return it->second;
+  }
+
+  P proto_;
+  std::uint32_t cap_;
+  CompileOptions opts_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+/// One-call path for the common case: wrap a BoundableProtocol at the given
+/// geometric cap and compile it, with enumeration and simulation caps tied.
+template <BoundableProtocol P>
+CompileResult<Bounded<P>> compile_bounded(P base, std::uint32_t geometric_cap,
+                                          CompileOptions opts = {}) {
+  Bounded<P> bounded(std::move(base), geometric_cap);
+  return ProtocolCompiler<Bounded<P>>(std::move(bounded), geometric_cap, opts).compile();
+}
+
+}  // namespace pops

@@ -1,0 +1,92 @@
+// Ready-made bounded-field configurations of the paper's headline
+// constructions, shared by benches and tests.
+//
+// Choosing the knobs: the compiled state count is the product of the live
+// field ranges, all of which scale with the geometric cap c and the
+// protocol's multipliers.  For Log-Size-Estimation the workers contribute
+// Σ_ls (Tm·ls + 1) · (Em·ls) · c · 2 states (time × epoch × grv × flags per
+// reachable logSize2 value ls ≤ c + offset) and the storage agents
+// Σ_e (c·e + 1) per epoch level — i.e. the paper's Θ(log⁴ n) with
+// "log n" frozen at the cap.  Measured counts (see BENCH_compiled.json):
+// the tiny preset compiles to a few hundred states, the small preset to a
+// few thousand; each extra cap unit roughly doubles-to-quadruples the count
+// and squares the transition table, so caps beyond ~4 are where pair
+// enumeration (states²) stops being interactive.
+#pragma once
+
+#include <cstdint>
+
+#include "compile/compiler.hpp"
+#include "core/log_size_estimation.hpp"
+#include "core/uniform_leader_election.hpp"
+#include "core/uniform_majority.hpp"
+
+namespace pops {
+
+/// MajorityStage whose initial vote is +1 with probability `positive_bias` —
+/// the compiled-world analogue of `assign_votes` (a count simulator has no
+/// per-agent indices to assign, so the vote split enters through the initial
+/// distribution instead).
+struct VotedMajorityStage : MajorityStage {
+  double positive_bias = 0.5;
+
+  template <RandomSource R>
+  State initial(R& rng) const {
+    State s;
+    s.input = rng.bernoulli(positive_bias) ? std::int8_t{+1} : std::int8_t{-1};
+    s.sign = s.input;
+    s.output = s.input;
+    return s;
+  }
+};
+static_assert(StageProtocol<VotedMajorityStage>);
+
+// ------------------------------------------------- Log-Size-Estimation ----
+
+/// Smallest interesting regime: a few hundred states; runs to n = 10^12.
+inline Bounded<LogSizeEstimation> log_size_tiny() {
+  return Bounded<LogSizeEstimation>(
+      LogSizeEstimation(LogSizeEstimation::Params{
+          .time_multiplier = 4, .epoch_multiplier = 1, .logsize_offset = 1}),
+      /*geometric_cap=*/2);
+}
+
+/// A few thousand states; the largest preset with interactive compile times.
+inline Bounded<LogSizeEstimation> log_size_small() {
+  return Bounded<LogSizeEstimation>(
+      LogSizeEstimation(LogSizeEstimation::Params{
+          .time_multiplier = 8, .epoch_multiplier = 1, .logsize_offset = 1}),
+      /*geometric_cap=*/3);
+}
+
+// --------------------------------------------------------- composition ----
+
+/// Composition parameters shared by the majority / leader-election presets:
+/// cap 1 freezes the weak estimate at s = 1 + offset = 2, giving K = 6
+/// stages of threshold 8.
+inline Composed<VotedMajorityStage> majority_preset(double positive_bias) {
+  return Composed<VotedMajorityStage>(
+      VotedMajorityStage{{}, positive_bias},
+      Composed<VotedMajorityStage>::Params{
+          .clock_multiplier = 4, .stage_multiplier = 3, .estimate_offset = 1});
+}
+
+inline Bounded<Composed<VotedMajorityStage>> bounded_majority(double positive_bias) {
+  return Bounded<Composed<VotedMajorityStage>>(majority_preset(positive_bias),
+                                               /*geometric_cap=*/1);
+}
+
+inline UniformLeaderElection leader_election_preset(std::uint32_t max_bits) {
+  return UniformLeaderElection(
+      LeaderElectionStage{max_bits},
+      UniformLeaderElection::Params{
+          .clock_multiplier = 4, .stage_multiplier = 3, .estimate_offset = 1});
+}
+
+inline Bounded<UniformLeaderElection> bounded_leader_election(
+    std::uint32_t max_bits = 4) {
+  return Bounded<UniformLeaderElection>(leader_election_preset(max_bits),
+                                        /*geometric_cap=*/1);
+}
+
+}  // namespace pops

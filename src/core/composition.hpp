@@ -20,8 +20,11 @@
 // participates in every interaction with both parties' stage indices.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "proto/leaderless_clock.hpp"
 #include "sim/agent_simulation.hpp"
@@ -39,6 +42,17 @@ concept StageProtocol = std::copyable<typename D::State> &&
       d.advance_stage(a, u32, rng);           // agent entered stage u32
       d.interact(a, u32, b, u32, rng);        // interaction with stage indices
     };
+
+/// Refinement for stage protocols that can enter the bounded-field regime
+/// (compile/bounded.hpp): clamp/canonicalize their state (the second
+/// argument is the agent's current stage, the clock-derived bound on
+/// stage-trailing fields) and emit a canonical label.  `Composed` forwards
+/// its own compile hooks only when the downstream provides these.
+template <typename D>
+concept CompilableStage = requires(const D d, typename D::State& s, std::uint32_t u32) {
+  d.saturate(s, u32);
+  { d.state_label(s) } -> std::convertible_to<std::string>;
+};
 
 template <StageProtocol D>
 class Composed {
@@ -61,14 +75,16 @@ class Composed {
     POPS_REQUIRE(params.stage_multiplier >= 1, "stage multiplier must be >= 1");
   }
 
-  State initial(Rng& rng) const {
+  template <RandomSource R>
+  State initial(R& rng) const {
     State st;
     st.s = rng.geometric_fair() + params_.estimate_offset;
     st.down = down_.initial(rng);
     return st;
   }
 
-  void interact(State& receiver, State& sender, Rng& rng) const {
+  template <RandomSource R>
+  void interact(State& receiver, State& sender, R& rng) const {
     // Weak estimate: max propagation with restart on adoption.
     if (receiver.s < sender.s) {
       receiver.s = sender.s;
@@ -98,20 +114,48 @@ class Composed {
   const D& downstream() const { return down_; }
   const Params& params() const { return params_; }
 
+  /// Canonical label (compile/compiler.hpp): estimate, clock, downstream.
+  std::string state_label(const State& st) const
+    requires CompilableStage<D>
+  {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "e%u|g%u.%llu|", st.s, st.clock.stage,
+                  static_cast<unsigned long long>(st.clock.counter));
+    return buf + down_.state_label(st.down);
+  }
+
+  /// Bounded-field regime hook (compile/bounded.hpp).  With geometric draws
+  /// capped, the weak estimate s is capped too, which bounds the stage count
+  /// K(s) and the per-stage threshold f(s); the counter stays below f(s) by
+  /// construction (it resets on every stage advance) and freezes once the
+  /// final stage is reached, so the clamps below never bind on reachable
+  /// states — they make the space finite by construction.
+  void saturate(State& st, std::uint32_t cap) const
+    requires CompilableStage<D>
+  {
+    st.s = std::min(st.s, cap + params_.estimate_offset);
+    st.clock.stage = std::min(st.clock.stage, num_stages(st));
+    st.clock.counter = std::min<std::uint64_t>(st.clock.counter, stage_threshold(st));
+    down_.saturate(st.down, st.clock.stage);
+  }
+
  private:
-  void restart(State& st, Rng& rng) const {
+  template <RandomSource R>
+  void restart(State& st, R& rng) const {
     st.clock.reset();
     down_.restart(st.down, st.s, rng);
   }
 
-  void tick(State& st, Rng& rng) const {
+  template <RandomSource R>
+  void tick(State& st, R& rng) const {
     if (st.clock.stage >= num_stages(st)) return;  // finished
     if (st.clock.tick(stage_threshold(st))) {
       down_.advance_stage(st.down, st.clock.stage, rng);
     }
   }
 
-  void catch_up(State& me, const State& other, Rng& rng) const {
+  template <RandomSource R>
+  void catch_up(State& me, const State& other, R& rng) const {
     while (me.clock.stage < other.clock.stage &&
            me.clock.stage < num_stages(me)) {
       me.clock.stage += 1;

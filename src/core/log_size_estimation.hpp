@@ -28,7 +28,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 #include "proto/partition.hpp"
 #include "sim/agent_simulation.hpp"
@@ -67,12 +69,16 @@ class LogSizeEstimation {
 
   const Params& params() const { return params_; }
 
-  State initial(Rng&) const { return State{}; }
+  template <RandomSource R>
+  State initial(R&) const {
+    return State{};
+  }
 
   /// One interaction, following Protocol 1's order: Partition; clock ticks +
   /// timer checks; Propagate-Max-Clock-Value; Propagate-Incremented-Epoch;
   /// Update-Sum (A–S pairs); Propagate-Max-G.R.V. (A–A pairs); output refresh.
-  void interact(State& receiver, State& sender, Rng& rng) const {
+  template <RandomSource R>
+  void interact(State& receiver, State& sender, R& rng) const {
     partition_into_roles(receiver, sender, rng);
 
     if (receiver.role == Role::A) {
@@ -115,9 +121,57 @@ class LogSizeEstimation {
     return params_.epoch_multiplier * s.log_size2;
   }
 
+  /// Canonical label, injective on saturated states (compile/compiler.hpp).
+  std::string state_label(const State& s) const {
+    char buf[96];
+    const char role = s.role == Role::X ? 'X' : (s.role == Role::A ? 'A' : 'S');
+    std::snprintf(buf, sizeof(buf), "%c|l%u|t%u|e%u|g%u|s%u|%c%c%c|o%d", role,
+                  s.log_size2, s.time, s.epoch, s.gr, s.sum,
+                  s.protocol_done ? 'D' : '-', s.updated_sum ? 'U' : '-',
+                  s.has_output ? 'O' : '-', s.output);
+    return buf;
+  }
+
+  /// Bounded-field regime hook (compile/bounded.hpp): with every geometric
+  /// draw capped at `cap`, clamp each field at its invariant ceiling and
+  /// canonicalize dead fields.  Per the saturation contract:
+  ///  * `time` is read only via `time >= time_threshold` (Check-if-Timer-Done
+  ///    and Update-Sum), so saturating at the threshold is exact — the
+  ///    unbounded protocol lets a waiting worker's clock tick forever;
+  ///  * a finished worker's `time`/`gr`/`updatedSum` are dead: they are read
+  ///    only under !protocolDone, and the Restart that clears protocolDone
+  ///    also rewrites all three — canonicalizing them merges the states a
+  ///    finished worker would otherwise keep cycling through (and turns
+  ///    finished-finished interactions into nulls, which the batched
+  ///    simulator's dispatch skips for free);
+  ///  * a storage agent's `time`/`gr`/`updatedSum` are dead for the same
+  ///    reason (roles are final; only workers tick, draw g.r.v.s, or deposit);
+  ///  * `epoch` and `sum` are clamped at their reachability bounds
+  ///    (epochs ≤ K(max logSize2); each of the ≤ K deposits adds ≤ cap),
+  ///    which never bind — rule 3 of the contract.
+  void saturate(State& s, std::uint32_t cap) const {
+    const std::uint32_t ls_cap = cap + params_.logsize_offset;
+    s.log_size2 = std::min(s.log_size2, ls_cap);
+    const std::uint32_t epoch_cap = params_.epoch_multiplier * ls_cap;
+    s.epoch = std::min(s.epoch, epoch_cap);
+    s.sum = std::min(s.sum, epoch_cap * cap);
+    s.gr = std::min(s.gr, cap);
+    s.time = std::min(s.time, time_threshold(s));
+    if (s.role == Role::A && s.protocol_done) {
+      s.time = time_threshold(s);
+      s.gr = 1;
+      s.updated_sum = true;
+    } else if (s.role == Role::S) {
+      s.time = 0;
+      s.gr = 1;
+      s.updated_sum = false;
+    }
+  }
+
  private:
   // Subprotocol 2 (Partition-Into-A/S).  A fresh A draws its logSize2.
-  void partition_into_roles(State& receiver, State& sender, Rng& rng) const {
+  template <RandomSource R>
+  void partition_into_roles(State& receiver, State& sender, R& rng) const {
     if (sender.role == Role::X && receiver.role == Role::X) {
       sender.role = Role::A;
       sender.log_size2 = rng.geometric_fair() + params_.logsize_offset;
@@ -131,7 +185,8 @@ class LogSizeEstimation {
   }
 
   // Subprotocol 4 (Restart): wipe all downstream computation.
-  void restart(State& s, Rng& rng) const {
+  template <RandomSource R>
+  void restart(State& s, R& rng) const {
     s.time = 0;
     s.sum = 0;
     s.epoch = 0;
@@ -144,7 +199,8 @@ class LogSizeEstimation {
 
   // Subprotocol 3 (Propagate-Max-Clock-Value): adopt a larger logSize2 and
   // restart everything that depended on the old value.
-  void propagate_max_clock_value(State& receiver, State& sender, Rng& rng) const {
+  template <RandomSource R>
+  void propagate_max_clock_value(State& receiver, State& sender, R& rng) const {
     if (receiver.log_size2 < sender.log_size2) {
       receiver.log_size2 = sender.log_size2;
       restart(receiver, rng);
@@ -155,7 +211,8 @@ class LogSizeEstimation {
   }
 
   // Subprotocol 8 (Move-to-Next-G.R.V).
-  void move_to_next_grv(State& s, Rng& rng) const {
+  template <RandomSource R>
+  void move_to_next_grv(State& s, R& rng) const {
     s.time = 0;
     s.gr = rng.geometric_fair();
     s.updated_sum = false;
@@ -164,7 +221,8 @@ class LogSizeEstimation {
   // Subprotocol 6 (Check-if-Timer-Done-and-Increment-Epoch).  `>=` rather
   // than `=` (DESIGN.md §4.1); the updatedSUM guard makes the epoch advance
   // only after this epoch's deposit.
-  void check_timer(State& s, Rng& rng) const {
+  template <RandomSource R>
+  void check_timer(State& s, R& rng) const {
     if (!s.protocol_done && s.time >= time_threshold(s) && s.updated_sum) {
       ++s.epoch;
       move_to_next_grv(s, rng);
@@ -173,7 +231,8 @@ class LogSizeEstimation {
   }
 
   // Subprotocol 7 (Propagate-Incremented-Epoch).
-  void propagate_incremented_epoch(State& receiver, State& sender, Rng& rng) const {
+  template <RandomSource R>
+  void propagate_incremented_epoch(State& receiver, State& sender, R& rng) const {
     if (receiver.role == Role::A && sender.role == Role::A) {
       if (receiver.epoch < sender.epoch) {
         adopt_epoch_a(receiver, sender.epoch, rng);
@@ -197,7 +256,8 @@ class LogSizeEstimation {
     }
   }
 
-  void adopt_epoch_a(State& s, std::uint32_t epoch, Rng& rng) const {
+  template <RandomSource R>
+  void adopt_epoch_a(State& s, std::uint32_t epoch, R& rng) const {
     s.epoch = epoch;
     move_to_next_grv(s, rng);
     // An agent catching up to the final epoch is finished (DESIGN.md §4;

@@ -17,12 +17,17 @@
 //
 // The invariant "the numerically largest bitstring is held by a live
 // contender" guarantees at least one leader always survives; uniqueness is
-// the w.h.p. part.  Bitstrings live in unsigned __int128 (stages cap at 120
-// appended bits — far beyond K(s) for any feasible n).
+// the w.h.p. part.  Bitstrings live in unsigned __int128; `max_bits` caps
+// how many bits a contender may append (default 120 — far beyond K(s) for
+// any feasible n).  Lowering `max_bits` is the bounded-field regime used by
+// the compiler (compile/): past the cap, surviving ties simply stop being
+// broken, so at huge n a unique leader is no longer guaranteed — the benches
+// measure exactly that saturation.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "core/composition.hpp"
 #include "sim/int128.hpp"
@@ -30,34 +35,75 @@
 
 namespace pops {
 
+/// Lowercase-hex rendering of a 128-bit bitstring (canonical label helper).
+inline std::string u128_hex(u128 v) {
+  if (v == 0) return "0";
+  char buf[33];
+  int i = 33;
+  while (v != 0) {
+    buf[--i] = "0123456789abcdef"[static_cast<unsigned>(v & 0xF)];
+    v >>= 4;
+  }
+  return std::string(buf + i, buf + 33);
+}
+
 struct LeaderElectionStage {
+  std::uint32_t max_bits = 120;  ///< appended-bit cap (bounded-field knob)
+
   struct State {
     bool contender = true;
     u128 own = 1;   ///< this agent's bitstring (sentinel-led)
     u128 best = 1;  ///< max bitstring seen anywhere
   };
 
-  State initial(Rng&) const { return State{}; }
+  template <RandomSource R>
+  State initial(R&) const {
+    return State{};
+  }
 
-  void restart(State& s, std::uint32_t /*estimate*/, Rng&) const { s = State{}; }
+  template <RandomSource R>
+  void restart(State& s, std::uint32_t /*estimate*/, R&) const {
+    s = State{};
+  }
 
-  void advance_stage(State& s, std::uint32_t stage, Rng& rng) const {
-    if (s.contender && stage <= 120) {
+  template <RandomSource R>
+  void advance_stage(State& s, std::uint32_t stage, R& rng) const {
+    if (s.contender && stage <= max_bits) {
       s.own = (s.own << 1) | static_cast<unsigned>(rng.coin());
       s.best = std::max(s.best, s.own);
     }
   }
 
+  template <RandomSource R>
   void interact(State& a, std::uint32_t /*stage_a*/, State& b, std::uint32_t /*stage_b*/,
-                Rng&) const {
+                R&) const {
     const u128 m = std::max(a.best, b.best);
     a.best = m;
     b.best = m;
     if (a.contender && a.own < a.best) a.contender = false;
     if (b.contender && b.own < b.best) b.contender = false;
   }
+
+  /// Canonical label (compile/compiler.hpp).  A dropped-out contender's
+  /// `own` string is dead — nothing reads it again and a restart rewrites
+  /// it — so it is not printed; `saturate` canonicalizes it to 0.
+  std::string state_label(const State& s) const {
+    return (s.contender ? "C" + u128_hex(s.own) : "F") + "/" + u128_hex(s.best);
+  }
+
+  /// Bounded-field regime hook.  `own` and `best` carry at most
+  /// 1 + max_bits bits by the advance_stage guard; the clamp never binds.
+  void saturate(State& s, std::uint32_t /*stage*/) const {
+    // max_bits >= 127 admits all 128 bits; shifting by 128 would be UB.
+    const u128 mask = max_bits >= 127 ? ~static_cast<u128>(0)
+                                      : (static_cast<u128>(1) << (max_bits + 1)) - 1;
+    s.own = std::min(s.own, mask);
+    s.best = std::min(s.best, mask);
+    if (!s.contender) s.own = 0;  // dead: only a restart resurrects it
+  }
 };
 static_assert(StageProtocol<LeaderElectionStage>);
+static_assert(CompilableStage<LeaderElectionStage>);
 
 using UniformLeaderElection = Composed<LeaderElectionStage>;
 

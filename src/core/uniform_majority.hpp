@@ -20,7 +20,10 @@
 // requires more machinery; the point here is the uniformization.)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "core/composition.hpp"
 #include "sim/agent_simulation.hpp"
@@ -35,19 +38,25 @@ struct MajorityStage {
     std::int8_t output = +1;  ///< reported majority opinion
   };
 
-  State initial(Rng&) const { return State{}; }
+  template <RandomSource R>
+  State initial(R&) const {
+    return State{};
+  }
 
   /// Restart must re-seed from the immutable input, not from State{}.
-  void restart(State& s, std::uint32_t /*estimate*/, Rng&) const {
+  template <RandomSource R>
+  void restart(State& s, std::uint32_t /*estimate*/, R&) const {
     s.sign = s.input;
     s.level = 0;
     s.output = s.input;
   }
 
-  void advance_stage(State&, std::uint32_t, Rng&) const {}
+  template <RandomSource R>
+  void advance_stage(State&, std::uint32_t, R&) const {}
 
+  template <RandomSource R>
   void interact(State& a, std::uint32_t stage_a, State& b, std::uint32_t stage_b,
-                Rng&) const {
+                R&) const {
     if (a.sign != 0 && b.sign != 0 && a.sign == -b.sign && a.level == b.level) {
       // Cancellation.
       a.sign = 0;
@@ -67,7 +76,26 @@ struct MajorityStage {
     if (a.sign != 0 && b.sign == 0) b.output = a.sign;
     if (b.sign != 0 && a.sign == 0) a.output = b.sign;
   }
+
+  /// Canonical label (compile/compiler.hpp): vote, token sign+level, output.
+  std::string state_label(const State& s) const {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%c%c%u%c", s.input > 0 ? '+' : '-',
+                  s.sign > 0 ? 'p' : (s.sign < 0 ? 'n' : 'b'), s.level,
+                  s.output > 0 ? '+' : '-');
+    return buf;
+  }
+
+  /// Bounded-field regime hook: the doubling level trails the stage clock
+  /// (a token doubles only while level < stage), so the clamp never binds.
+  /// A blank's level is dead — it is read only on sign-carrying tokens, and
+  /// doubling through a blank overwrites it — so it canonicalizes to 0.
+  void saturate(State& s, std::uint32_t stage) const {
+    s.level = std::min(s.level, stage);
+    if (s.sign == 0) s.level = 0;
+  }
 };
+static_assert(CompilableStage<MajorityStage>);
 static_assert(StageProtocol<MajorityStage>);
 
 using UniformMajority = Composed<MajorityStage>;

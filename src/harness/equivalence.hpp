@@ -1,0 +1,51 @@
+// Compiled-vs-agent equivalence harness, shared by the chi-square
+// certification suite (tests/test_compiled_equivalence.cpp) and the
+// per-config equivalence record in bench_compiled_scaling.
+//
+// Histograms an integer observable — the number of agents whose typed state
+// satisfies `observable` — over `trials` runs of `AgentSimulation<P>` and
+// over `trials` runs of the compiled spec on `BatchedCountSimulation`, then
+// two-sample chi-squares the histograms.  Agent trials fan out over threads
+// (deterministic per-trial seed streams); batched trials reuse one simulator
+// via reset(), since the CSR dispatch build dwarfs a small-n trial.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "compile/compiler.hpp"
+#include "harness/trials.hpp"
+#include "sim/agent_simulation.hpp"
+#include "sim/batched_count_simulation.hpp"
+#include "stats/chi_square.hpp"
+
+namespace pops {
+
+template <typename P, typename Obs>
+TwoSampleChiSquare compiled_agent_equivalence(const P& proto,
+                                              const CompileResult<P>& compiled,
+                                              std::uint64_t n, std::uint64_t interactions,
+                                              std::uint64_t trials,
+                                              std::uint64_t master_seed, Obs&& observable) {
+  const auto agent_values = run_trials_parallel(
+      trials, master_seed, [&](std::uint64_t seed, std::uint64_t) {
+        AgentSimulation<P> sim(proto, n, seed);
+        sim.steps(interactions);
+        std::uint64_t value = 0;
+        for (const auto& a : sim.agents()) value += observable(a) ? 1 : 0;
+        return value;
+      });
+  std::map<std::uint64_t, std::uint64_t> agent_hist, count_hist;
+  for (const auto v : agent_values) ++agent_hist[v];
+  BatchedCountSimulation sim(compiled.spec, 1);
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    sim.reset(trial_seed(master_seed ^ 0xBA7C4EDULL, i));
+    Rng seeder(trial_seed(master_seed ^ 0x5EEDULL, i));
+    compiled.seed_initial(sim, n, seeder);
+    sim.steps(interactions);
+    ++count_hist[compiled.count_matching(sim.counts(), observable)];
+  }
+  return two_sample_chi_square(agent_hist, count_hist);
+}
+
+}  // namespace pops

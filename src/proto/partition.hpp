@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/agent_simulation.hpp"
 #include "sim/finite_spec.hpp"
@@ -34,9 +35,13 @@ struct PartitionProtocol {
     Role role = Role::X;
   };
 
-  State initial(Rng&) const { return State{}; }
+  template <RandomSource R>
+  State initial(R&) const {
+    return State{};
+  }
 
-  void interact(State& receiver, State& sender, Rng&) const {
+  template <RandomSource R>
+  void interact(State& receiver, State& sender, R&) const {
     if (sender.role == Role::X && receiver.role == Role::X) {
       sender.role = Role::A;
       receiver.role = Role::S;
@@ -46,6 +51,14 @@ struct PartitionProtocol {
       receiver.role = Role::A;
     }
   }
+
+  /// Canonical label — matches the state names of `partition_spec()`, so the
+  /// compiled form round-trips onto the hand-written spec exactly.
+  std::string state_label(const State& s) const {
+    return s.role == Role::X ? "X" : (s.role == Role::A ? "A" : "S");
+  }
+
+  void saturate(State&, std::uint32_t) const {}
 };
 static_assert(AgentProtocol<PartitionProtocol>);
 

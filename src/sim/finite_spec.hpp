@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/require.hpp"
@@ -54,6 +55,16 @@ class FiniteSpec {
     transitions_.push_back(Transition{state(a), state(b), state(c), state(d), rate});
   }
 
+  /// Id-based overload for machine-generated specs (compile/compiler.hpp):
+  /// no name lookups on the emission path.  All ids must already exist.
+  void add(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d,
+           double rate = 1.0) {
+    POPS_REQUIRE(rate > 0.0 && rate <= 1.0, "transition rate must lie in (0, 1]");
+    const auto n = num_states();
+    POPS_REQUIRE(a < n && b < n && c < n && d < n, "transition uses unknown state id");
+    transitions_.push_back(Transition{a, b, c, d, rate});
+  }
+
   /// Symmetric convenience: adds both a,b → c,d and b,a → d,c.
   void add_symmetric(const std::string& a, const std::string& b, const std::string& c,
                      const std::string& d, double rate = 1.0) {
@@ -73,12 +84,18 @@ class FiniteSpec {
   }
 
   /// Check the rate discipline for every input pair that has transitions.
+  /// Hash-keyed so compiled specs with millions of transitions validate in
+  /// linear time.
   void validate() const {
-    std::map<std::pair<std::uint32_t, std::uint32_t>, double> totals;
-    for (const auto& t : transitions_) totals[{t.in_receiver, t.in_sender}] += t.rate;
-    for (const auto& [pair, total] : totals) {
-      POPS_REQUIRE(total <= 1.0 + 1e-12, "transition rates for pair (" + name(pair.first) +
-                                             ", " + name(pair.second) + ") exceed 1");
+    std::unordered_map<std::uint64_t, double> totals;
+    totals.reserve(transitions_.size());
+    for (const auto& t : transitions_) {
+      totals[(static_cast<std::uint64_t>(t.in_receiver) << 32) | t.in_sender] += t.rate;
+    }
+    for (const auto& [key, total] : totals) {
+      POPS_REQUIRE(total <= 1.0 + 1e-12,
+                   "transition rates for pair (" + name(static_cast<std::uint32_t>(key >> 32)) +
+                       ", " + name(static_cast<std::uint32_t>(key)) + ") exceed 1");
     }
   }
 

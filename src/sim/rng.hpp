@@ -19,6 +19,7 @@
 #pragma once
 
 #include <bit>
+#include <concepts>
 #include <cstdint>
 #include <utility>
 
@@ -141,5 +142,21 @@ class Rng {
  private:
   std::uint64_t state_[4]{};
 };
+
+/// The random-draw interface a protocol's transition algorithm may consume.
+/// Satisfied by `Rng` itself, by `CapGeometric` (compile/bounded.hpp), which
+/// truncates geometric draws for the bounded-field regime, and by `ChoiceRng`
+/// (compile/choice.hpp), which enumerates every branch instead of sampling.
+/// Protocols written against this concept (rather than against `Rng`
+/// concretely) can therefore be simulated *and* compiled to a `FiniteSpec`
+/// from the same transition code.
+template <typename R>
+concept RandomSource = requires(R& r, double p, std::uint64_t n) {
+  { r.coin() } -> std::convertible_to<bool>;
+  { r.geometric_fair() } -> std::convertible_to<std::uint32_t>;
+  { r.below(n) } -> std::convertible_to<std::uint64_t>;
+  { r.bernoulli(p) } -> std::convertible_to<bool>;
+};
+static_assert(RandomSource<Rng>);
 
 }  // namespace pops

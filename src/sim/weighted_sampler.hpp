@@ -49,6 +49,21 @@ class WeightedSampler {
     add(i, static_cast<std::int64_t>(value) - static_cast<std::int64_t>(count(i)));
   }
 
+  /// Replace all counts at once in O(S) (vs O(S log S) via set_count) — the
+  /// batched simulator rebuilds a sender sampler from scratch every epoch.
+  void rebuild(const std::vector<std::uint64_t>& counts) {
+    POPS_REQUIRE(counts.size() == size_, "rebuild size mismatch");
+    counts_ = counts;
+    total_ = 0;
+    for (const auto c : counts_) total_ += c;
+    // Classic linear Fenwick construction: push each node's sum to its parent.
+    for (std::size_t i = 1; i <= size_; ++i) tree_[i] = counts_[i - 1];
+    for (std::size_t i = 1; i <= size_; ++i) {
+      const std::size_t parent = i + (i & (~i + 1));
+      if (parent <= size_) tree_[parent] += tree_[i];
+    }
+  }
+
   /// Index of the item owning position `target` in the cumulative-count order;
   /// requires target < total().  O(log S).
   std::size_t find(std::uint64_t target) const {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/agent_simulation.hpp"
 #include "sim/finite_spec.hpp"
@@ -37,9 +38,13 @@ struct FixedCountTrigger {
     bool terminated = false;
   };
 
-  State initial(Rng&) const { return State{}; }
+  template <RandomSource R>
+  State initial(R&) const {
+    return State{};
+  }
 
-  void interact(State& receiver, State& sender, Rng&) const {
+  template <RandomSource R>
+  void interact(State& receiver, State& sender, R&) const {
     tick(receiver);
     tick(sender);
     if (receiver.terminated || sender.terminated) {
@@ -51,6 +56,18 @@ struct FixedCountTrigger {
   void tick(State& s) const {
     ++s.count;
     if (s.count >= threshold) s.terminated = true;
+  }
+
+  /// Canonical label matching `fixed_count_trigger_spec` state names, so the
+  /// compiled form round-trips onto the hand-written spec.
+  std::string state_label(const State& s) const {
+    return s.terminated ? "t" : "c" + std::to_string(s.count);
+  }
+
+  /// The counter of a terminated agent is dead (the signal is absorbing);
+  /// pinning it at the threshold keeps the state space at threshold + 1.
+  void saturate(State& s, std::uint32_t) const {
+    if (s.terminated) s.count = threshold;
   }
 };
 static_assert(AgentProtocol<FixedCountTrigger>);
@@ -64,9 +81,13 @@ struct HeadsRunTrigger {
     bool terminated = false;
   };
 
-  State initial(Rng&) const { return State{}; }
+  template <RandomSource R>
+  State initial(R&) const {
+    return State{};
+  }
 
-  void interact(State& receiver, State& sender, Rng& rng) const {
+  template <RandomSource R>
+  void interact(State& receiver, State& sender, R& rng) const {
     flip(receiver, rng);
     flip(sender, rng);
     if (receiver.terminated || sender.terminated) {
@@ -75,12 +96,21 @@ struct HeadsRunTrigger {
     }
   }
 
-  void flip(State& s, Rng& rng) const {
+  template <RandomSource R>
+  void flip(State& s, R& rng) const {
     if (rng.coin()) {
       if (++s.run >= run_length) s.terminated = true;
     } else {
       s.run = 0;
     }
+  }
+
+  std::string state_label(const State& s) const {
+    return s.terminated ? "t" : "r" + std::to_string(s.run);
+  }
+
+  void saturate(State& s, std::uint32_t) const {
+    if (s.terminated) s.run = run_length;
   }
 };
 static_assert(AgentProtocol<HeadsRunTrigger>);
@@ -93,14 +123,22 @@ struct GeometricTrigger {
     bool terminated = false;
   };
 
-  State initial(Rng& rng) const { return State{rng.geometric_fair() > threshold}; }
+  template <RandomSource R>
+  State initial(R& rng) const {
+    return State{rng.geometric_fair() > threshold};
+  }
 
-  void interact(State& receiver, State& sender, Rng&) const {
+  template <RandomSource R>
+  void interact(State& receiver, State& sender, R&) const {
     if (receiver.terminated || sender.terminated) {
       receiver.terminated = true;
       sender.terminated = true;
     }
   }
+
+  std::string state_label(const State& s) const { return s.terminated ? "t" : "q"; }
+
+  void saturate(State&, std::uint32_t) const {}
 };
 static_assert(AgentProtocol<GeometricTrigger>);
 
@@ -116,6 +154,11 @@ bool any_terminated(const AgentSimulation<P>& sim) {
 /// terminated signal "t"), every interaction increments both counters, and
 /// t infects.  All agents start in c0, so the initial configuration is
 /// 1-dense and the signal t ∈ Λ^T_1 — Lemma 4.2 applies with m = T.
+///
+/// Semantics match the agent-level `FixedCountTrigger` exactly (the compiler
+/// round-trip in tests/test_compile.cpp checks this): `interact` ticks both
+/// counters *and then* runs the infection check, so a counter crossing the
+/// threshold infects its partner within the same interaction.
 inline FiniteSpec fixed_count_trigger_spec(std::uint32_t threshold) {
   FiniteSpec spec;
   auto name = [&](std::uint32_t i) {
@@ -123,10 +166,11 @@ inline FiniteSpec fixed_count_trigger_spec(std::uint32_t threshold) {
   };
   for (std::uint32_t i = 0; i < threshold; ++i) {
     for (std::uint32_t j = 0; j < threshold; ++j) {
-      spec.add(name(i), name(j), name(i + 1), name(j + 1));
+      const bool fires = i + 1 >= threshold || j + 1 >= threshold;
+      spec.add(name(i), name(j), fires ? "t" : name(i + 1), fires ? "t" : name(j + 1));
     }
   }
-  // The signal infects: t, c_j → t, t  (and symmetric).
+  // An existing signal infects: t, c_j → t, t  (and symmetric).
   for (std::uint32_t j = 0; j < threshold; ++j) {
     spec.add("t", name(j), "t", "t");
     spec.add(name(j), "t", "t", "t");

@@ -1,0 +1,187 @@
+// Saturation-semantics tests for the bounded-field regime adapter
+// (compile/bounded.hpp): the capped-draw law, the per-protocol saturate
+// contracts (threshold saturation, dead-field canonicalization, invariant
+// clamps), and exactness of the bounded protocol w.r.t. the unbounded one
+// while no draw exceeds the cap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "compile/bounded.hpp"
+#include "compile/compiler.hpp"
+#include "compile/headline.hpp"
+#include "core/log_size_estimation.hpp"
+#include "sim/agent_simulation.hpp"
+#include "sim/rng.hpp"
+
+namespace pops {
+namespace {
+
+TEST(CapGeometric, DrawsFollowTheMinLaw) {
+  // min(geometric, cap): P(k) = 2^-k for k < cap, P(cap) = 2^-(cap-1).
+  const std::uint32_t cap = 3;
+  Rng rng(42);
+  CapGeometric<Rng> capped(rng, cap);
+  std::vector<std::uint64_t> hits(cap + 1, 0);
+  const std::uint64_t draws = 200000;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    const std::uint32_t g = capped.geometric_fair();
+    ASSERT_GE(g, 1u);
+    ASSERT_LE(g, cap);
+    ++hits[g];
+  }
+  EXPECT_NEAR(static_cast<double>(hits[1]) / draws, 0.50, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / draws, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[3]) / draws, 0.25, 0.01);
+}
+
+TEST(CapGeometric, PassesOtherDrawsThrough) {
+  Rng a(7), b(7);
+  CapGeometric<Rng> capped(a, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(capped.coin(), b.coin());
+    EXPECT_EQ(capped.below(17), b.below(17));
+  }
+}
+
+// ------------------------------------------- LogSizeEstimation saturate ----
+
+using LseState = LogSizeEstimation::State;
+
+LogSizeEstimation tiny_base() {
+  return LogSizeEstimation(LogSizeEstimation::Params{
+      .time_multiplier = 4, .epoch_multiplier = 1, .logsize_offset = 1});
+}
+
+TEST(BoundedLogSize, TimeSaturatesAtTheThreshold) {
+  const auto proto = tiny_base();
+  LseState s;
+  s.role = Role::A;
+  s.log_size2 = 3;
+  s.time = 999;  // a worker waiting to deposit keeps ticking in the paper
+  proto.saturate(s, 2);
+  EXPECT_EQ(s.time, proto.time_threshold(s));  // 4 * 3
+}
+
+TEST(BoundedLogSize, FinishedWorkerDeadFieldsAreCanonicalized) {
+  const auto proto = tiny_base();
+  LseState s;
+  s.role = Role::A;
+  s.log_size2 = 2;
+  s.protocol_done = true;
+  s.time = 1;
+  s.gr = 2;
+  s.updated_sum = false;
+  proto.saturate(s, 2);
+  EXPECT_EQ(s.time, proto.time_threshold(s));
+  EXPECT_EQ(s.gr, 1u);
+  EXPECT_TRUE(s.updated_sum);
+}
+
+TEST(BoundedLogSize, StorageDeadFieldsAreCanonicalized) {
+  const auto proto = tiny_base();
+  LseState s;
+  s.role = Role::S;
+  s.time = 5;
+  s.gr = 2;       // a restart redraws gr even for storage agents
+  s.updated_sum = true;
+  proto.saturate(s, 2);
+  EXPECT_EQ(s.time, 0u);
+  EXPECT_EQ(s.gr, 1u);
+  EXPECT_FALSE(s.updated_sum);
+}
+
+TEST(BoundedLogSize, InvariantClampsBindOnlyAboveTheCeilings) {
+  const auto proto = tiny_base();
+  const std::uint32_t cap = 2;
+  LseState s;
+  s.role = Role::S;
+  s.log_size2 = 77;
+  s.epoch = 99;
+  s.sum = 1000;
+  proto.saturate(s, cap);
+  EXPECT_EQ(s.log_size2, cap + 1);      // cap + offset
+  EXPECT_EQ(s.epoch, 1u * (cap + 1));   // Em * ls_cap
+  EXPECT_EQ(s.sum, 1u * (cap + 1) * cap);
+}
+
+TEST(BoundedLogSize, SimulationStatesAreSaturateFixedPoints) {
+  // Every state an AgentSimulation<Bounded<P>> produces is already
+  // saturated: saturate must be idempotent on the reachable space, or the
+  // compiled labels would disagree with the simulated ones.
+  const auto proto = log_size_tiny();
+  AgentSimulation<Bounded<LogSizeEstimation>> sim(proto, 256, 19);
+  for (const double t : {5.0, 30.0, 120.0}) {
+    sim.advance_time(t);
+    for (const auto& agent : sim.agents()) {
+      LseState copy = agent;
+      proto.saturate(copy, proto.geometric_cap());
+      EXPECT_EQ(proto.state_label(copy), proto.state_label(agent));
+    }
+  }
+}
+
+TEST(BoundedLogSize, AgreesExactlyWithUnboundedWhileCapIsGenerous) {
+  // Rules 1 and 2 of the saturation contract are exact, and CapGeometric
+  // consumes the RNG stream identically — so with a cap no draw ever
+  // reaches, the bounded and unbounded protocols produce the *same
+  // execution* from the same seed (dead canonicalized fields aside).
+  const LogSizeEstimation unbounded{};  // paper constants: 95, 5, +2
+  const Bounded<LogSizeEstimation> bounded(unbounded, /*geometric_cap=*/40);
+  const std::uint64_t n = 64, seed = 1234;
+  AgentSimulation<LogSizeEstimation> a(unbounded, n, seed);
+  AgentSimulation<Bounded<LogSizeEstimation>> b(bounded, n, seed);
+  a.steps(20000);
+  b.steps(20000);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto& sa = a.agent(i);
+    const auto& sb = b.agent(i);
+    EXPECT_EQ(sa.role, sb.role);
+    EXPECT_EQ(sa.log_size2, sb.log_size2);
+    EXPECT_EQ(sa.epoch, sb.epoch);
+    EXPECT_EQ(sa.sum, sb.sum);
+    EXPECT_EQ(sa.protocol_done, sb.protocol_done);
+    EXPECT_EQ(sa.has_output, sb.has_output);
+    EXPECT_EQ(sa.output, sb.output);
+    if (sa.role == Role::A && !sa.protocol_done) {
+      // Live worker fields are not canonicalized; they match too (time up
+      // to threshold saturation, which only binds past the threshold).
+      EXPECT_EQ(std::min(sa.time, unbounded.time_threshold(sa)), sb.time);
+      EXPECT_EQ(sa.gr, sb.gr);
+      EXPECT_EQ(sa.updated_sum, sb.updated_sum);
+    }
+  }
+}
+
+// ------------------------------------------------- composed saturation -----
+
+TEST(BoundedMajority, BlankLevelsAreCanonicalizedAcrossTheCompiledSpace) {
+  const auto result =
+      ProtocolCompiler<Bounded<Composed<VotedMajorityStage>>>(bounded_majority(0.5), 1)
+          .compile();
+  for (const auto& st : result.states) {
+    if (st.down.sign == 0) {
+      EXPECT_EQ(st.down.level, 0u);
+    }
+    EXPECT_LE(st.down.level, st.clock.stage);
+  }
+}
+
+TEST(BoundedLeaderElection, DroppedContendersForgetTheirBitstring) {
+  const auto result =
+      ProtocolCompiler<Bounded<UniformLeaderElection>>(bounded_leader_election(3), 1)
+          .compile();
+  std::uint64_t followers = 0;
+  for (const auto& st : result.states) {
+    if (!st.down.contender) {
+      ++followers;
+      EXPECT_TRUE(st.down.own == 0);
+    }
+    EXPECT_LE(st.down.own, st.down.best);
+  }
+  EXPECT_GT(followers, 0u);
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,99 @@
+// Compiled-vs-agent equivalence certification: the distribution of a
+// compiled protocol running on `BatchedCountSimulation` must be
+// indistinguishable from the same `Bounded` protocol running on
+// `AgentSimulation` (two-sample chi-square over integer observables, at a
+// population size both simulators can handle).
+//
+// This is the end-to-end check of the whole compile pipeline: branch
+// enumeration (rates), label interning (state identity), saturation hooks
+// (both worlds saturate identically), seed_initial (multinomial initial
+// configurations), and the batched sampler itself.  Observables and horizons
+// are chosen where the statistic has real degrees of freedom (mid-run, not
+// after convergence collapses everything to one outcome).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "compile/compiler.hpp"
+#include "compile/headline.hpp"
+#include "harness/equivalence.hpp"
+
+namespace pops {
+namespace {
+
+// The acceptance criterion's test: Log-Size-Estimation in the bounded-field
+// regime, compiled, on the batched engine, against the agent-level original.
+class LogSizeEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    proto_ = new Bounded<LogSizeEstimation>(log_size_tiny());
+    compiled_ = new CompileResult<Bounded<LogSizeEstimation>>(
+        ProtocolCompiler<Bounded<LogSizeEstimation>>(*proto_, proto_->geometric_cap())
+            .compile());
+  }
+  static void TearDownTestSuite() {
+    delete compiled_;
+    compiled_ = nullptr;
+    delete proto_;
+    proto_ = nullptr;
+  }
+
+  static Bounded<LogSizeEstimation>* proto_;
+  static CompileResult<Bounded<LogSizeEstimation>>* compiled_;
+};
+Bounded<LogSizeEstimation>* LogSizeEquivalence::proto_ = nullptr;
+CompileResult<Bounded<LogSizeEstimation>>* LogSizeEquivalence::compiled_ = nullptr;
+
+TEST_F(LogSizeEquivalence, WorkerCountDistributionMatches) {
+  const auto result = compiled_agent_equivalence(
+      *proto_, *compiled_, 128, 6000, 400, 0xA11CE,
+      [](const LogSizeEstimation::State& s) { return s.role == Role::A; });
+  EXPECT_GE(result.df, 3u);
+  EXPECT_TRUE(result.accept()) << "chi2=" << result.statistic << " df=" << result.df;
+}
+
+TEST_F(LogSizeEquivalence, EpochProgressDistributionMatches) {
+  const auto result = compiled_agent_equivalence(
+      *proto_, *compiled_, 128, 800, 400, 0xB0B,
+      [](const LogSizeEstimation::State& s) { return s.epoch >= 1; });
+  EXPECT_GE(result.df, 5u);
+  EXPECT_TRUE(result.accept()) << "chi2=" << result.statistic << " df=" << result.df;
+}
+
+TEST_F(LogSizeEquivalence, CompletionDistributionMatches) {
+  const auto result = compiled_agent_equivalence(
+      *proto_, *compiled_, 128, 2500, 400, 0xC0FFEE,
+      [](const LogSizeEstimation::State& s) { return s.protocol_done; });
+  EXPECT_GE(result.df, 2u);
+  EXPECT_TRUE(result.accept()) << "chi2=" << result.statistic << " df=" << result.df;
+}
+
+TEST(MajorityEquivalence, BlankAndOutputDistributionsMatch) {
+  const auto proto = bounded_majority(0.55);
+  const auto compiled =
+      ProtocolCompiler<Bounded<Composed<VotedMajorityStage>>>(proto, 1).compile();
+  const auto blanks = compiled_agent_equivalence(
+      proto, compiled, 100, 1000, 300, 0xD1CE,
+      [](const auto& s) { return s.down.sign == 0; });
+  EXPECT_GE(blanks.df, 5u);
+  EXPECT_TRUE(blanks.accept()) << "chi2=" << blanks.statistic << " df=" << blanks.df;
+  const auto outputs = compiled_agent_equivalence(
+      proto, compiled, 100, 1000, 300, 0xFACADE,
+      [](const auto& s) { return s.down.output > 0; });
+  EXPECT_GE(outputs.df, 5u);
+  EXPECT_TRUE(outputs.accept()) << "chi2=" << outputs.statistic << " df=" << outputs.df;
+}
+
+TEST(LeaderElectionEquivalence, ContenderCountDistributionMatches) {
+  const auto proto = bounded_leader_election(4);
+  const auto compiled =
+      ProtocolCompiler<Bounded<UniformLeaderElection>>(proto, 1).compile();
+  const auto result = compiled_agent_equivalence(
+      proto, compiled, 100, 1200, 300, 0x1EAD,
+      [](const auto& s) { return s.down.contender; });
+  EXPECT_GE(result.df, 2u);
+  EXPECT_TRUE(result.accept()) << "chi2=" << result.statistic << " df=" << result.df;
+}
+
+}  // namespace
+}  // namespace pops
