@@ -6,17 +6,27 @@
 //
 //   * compile — state count, transition count, compile time: the measured
 //     size of the bounded-field regime (the paper's Θ(log⁴ n) with log n
-//     frozen at the cap);
+//     frozen at the cap).  Lazy configs report the JIT's interned states /
+//     compiled pairs instead — the slice of the (eager-infeasible) closure
+//     that runs actually touch;
 //   * equivalence — a two-sample chi-square of compiled-batched vs direct
 //     AgentSimulation at an overlapping n (trials fan out over threads via
-//     run_trials_parallel);
+//     run_trials_parallel; lazy batched trials share one JIT table);
 //   * scaling — throughput at n = 10^8 … max-n under a fixed interaction
 //     budget, plus protocol observables.  AgentSimulation needs Θ(n) memory
 //     (≳ 4 GB at n = 10^8 for Log-Size-Estimation) and is simply absent
 //     above that, which is the point of the compile-to-counts pipeline.
 //
+// The c8_lazy config exists only through `LazyCompiledSpec`: its pair space
+// (~10¹⁰) is far beyond the eager BFS closure, so it additionally runs an
+// n = 10^5 convergence trial first — both a JIT warm-up (interning the
+// 10⁴-state working set) and a whole-protocol observable (the converged
+// estimate under the saturating cap).
+//
 // POPS_BENCH_SCALE=0 stops at 10^9 and skips the multi-thousand-state
-// preset; =2 (or --max-n=1000000000000) sweeps to 10^12.
+// presets; =2 (or --max-n=1000000000000) sweeps to 10^12.  --quick shrinks
+// every block to a seconds-scale smoke run (tier-2 ctest; catches perf-path
+// breakage without a full Release bench).
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -25,11 +35,14 @@
 
 #include "compile/compiler.hpp"
 #include "compile/headline.hpp"
+#include "compile/lazy.hpp"
 #include "harness/bench_scale.hpp"
 #include "harness/equivalence.hpp"
 #include "sim/batched_count_simulation.hpp"
 
 namespace {
+
+bool quick = false;
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -42,8 +55,41 @@ void begin_config(const char* name) {
   first_entry = false;
 }
 
-/// One full report for a compiled protocol: compile stats, chi-square
-/// equivalence at small n, throughput sweep to max_n.
+std::uint64_t sweep_work() { return quick ? 20000000ULL : 200000000ULL; }
+std::uint64_t eq_trials() { return quick ? 30 : pops::by_scale<std::uint64_t>(100, 200, 400); }
+
+/// Throughput sweep shared by the eager and lazy configs.  Fixed interaction
+/// budget per point: enough epochs to be representative (≥ ~100 even at
+/// 10^12 where an epoch is ~1.25e6 interactions), small enough that the
+/// whole sweep stays interactive.  One simulator serves every point
+/// (reset() per n) — rebuilding the dispatch table (or re-warming the JIT)
+/// per point would dwarf the smaller sweeps.
+template <typename Seeder, typename Count>
+void print_scaling(pops::BatchedCountSimulation& sim, std::uint64_t max_n,
+                   Seeder&& seed, Count&& observe, const char* obs_name) {
+  std::printf("     \"scaling\": [\n");
+  bool first_point = true;
+  for (std::uint64_t n = 100000000ULL; n <= max_n; n *= 10) {
+    sim.reset(0xBEEF ^ n);
+    seed(sim, n);
+    const std::uint64_t work = sweep_work();
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.steps(work);
+    const double secs = seconds_since(t0);
+    const std::uint64_t obs = observe(sim);
+    std::printf("%s       {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
+                ", \"seconds\": %.4f, \"interactions_per_sec\": %.4e, "
+                "\"parallel_time\": %.6g, \"%s\": %" PRIu64 "}",
+                first_point ? "" : ",\n", n, work, secs,
+                static_cast<double>(work) / secs, sim.time(), obs_name, obs);
+    first_point = false;
+    std::fflush(stdout);
+  }
+  std::printf("\n     ]");  // caller closes the config object
+}
+
+/// One full report for an eagerly compiled protocol: compile stats,
+/// chi-square equivalence at small n, throughput sweep to max_n.
 template <typename P, typename Obs>
 void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t max_n,
             std::uint64_t eq_interactions, std::uint64_t eq_seed, Obs&& observable,
@@ -61,7 +107,7 @@ void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t m
   // Equivalence at an n both simulators handle, via the same harness the
   // certification suite uses (harness/equivalence.hpp).
   {
-    const std::uint64_t n = 1000, trials = pops::by_scale<std::uint64_t>(100, 200, 400);
+    const std::uint64_t n = 1000, trials = eq_trials();
     const auto chi = pops::compiled_agent_equivalence(proto, compiled, n, eq_interactions,
                                                       trials, eq_seed, observable);
     std::printf("     \"equivalence\": {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
@@ -72,33 +118,80 @@ void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t m
                 chi.accept() ? "true" : "false");
   }
 
-  // Throughput sweep.  Fixed interaction budget per point: enough epochs to
-  // be representative (≥ ~100 even at 10^12 where an epoch is ~1.25e6
-  // interactions), small enough that the whole sweep stays interactive.
-  // One simulator serves every point (reset() per n) — rebuilding the CSR
-  // dispatch table per point would dwarf the smaller sweeps for the
-  // multi-thousand-state presets.
-  std::printf("     \"scaling\": [\n");
-  bool first_point = true;
   pops::BatchedCountSimulation sim(compiled.spec, 0);
-  for (std::uint64_t n = 100000000ULL; n <= max_n; n *= 10) {
-    sim.reset(0xBEEF ^ n);
-    pops::Rng seeder(0x5EED ^ n);
-    compiled.seed_initial(sim, n, seeder);
-    const std::uint64_t work = 200000000ULL;
-    t0 = std::chrono::steady_clock::now();
-    sim.steps(work);
-    const double secs = seconds_since(t0);
-    const std::uint64_t obs = compiled.count_matching(sim.counts(), observable);
-    std::printf("%s       {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
-                ", \"seconds\": %.4f, \"interactions_per_sec\": %.4e, "
-                "\"parallel_time\": %.6g, \"%s\": %" PRIu64 "}",
-                first_point ? "" : ",\n", n, work, secs,
-                static_cast<double>(work) / secs, sim.time(), obs_name, obs);
-    first_point = false;
-    std::fflush(stdout);
+  print_scaling(
+      sim, max_n,
+      [&](pops::BatchedCountSimulation& s, std::uint64_t n) {
+        pops::Rng seeder(0x5EED ^ n);
+        compiled.seed_initial(s, n, seeder);
+      },
+      [&](const pops::BatchedCountSimulation& s) {
+        return compiled.count_matching(s.counts(), observable);
+      },
+      obs_name);
+  std::printf("}");
+}
+
+/// Lazy-config report: JIT warm-up convergence run, equivalence, sweep, and
+/// the interned-state accounting that replaces the eager compile record.
+template <typename P, typename Obs>
+void report_lazy(const char* name, const P& proto, std::uint32_t cap, std::uint64_t max_n,
+                 std::uint64_t eq_interactions, std::uint64_t eq_seed, Obs&& observable,
+                 const char* obs_name) {
+  begin_config(name);
+
+  pops::LazyCompiledSpec<P> lazy(proto, cap);
+  pops::BatchedCountSimulation sim(lazy, 0);
+
+  // Convergence trial at n = 10^5: runs the whole (time × epoch) cycle, so
+  // it interns the protocol's working set (the sweep's giant-n points sit in
+  // the partition transient and touch far fewer states).  Reported as its
+  // own record; skipped under --quick.
+  if (!quick) {
+    const std::uint64_t n = 100000;
+    sim.reset(0xC0FFEE);
+    pops::Rng seeder(0x5EED);
+    lazy.seed_initial(sim, n, seeder);
+    const auto t0 = std::chrono::steady_clock::now();
+    const double t_conv = sim.run_until(
+        [&](const pops::BatchedCountSimulation& s) {
+          return lazy.count_matching(s.counts(), [](const auto& st) {
+                   return !st.protocol_done;
+                 }) == 0;
+        },
+        25.0, 5000.0);
+    std::printf("     \"convergence\": {\"n\": %" PRIu64
+                ", \"parallel_time\": %.1f, \"seconds\": %.2f, \"%s\": %" PRIu64 "},\n",
+                n, t_conv, seconds_since(t0), obs_name,
+                lazy.count_matching(sim.counts(), observable));
   }
-  std::printf("\n     ]}");
+
+  {
+    const std::uint64_t n = 1000, trials = eq_trials();
+    const auto chi = pops::compiled_agent_equivalence(proto, lazy, n, eq_interactions,
+                                                      trials, eq_seed, observable);
+    std::printf("     \"equivalence\": {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
+                ", \"trials\": %" PRIu64
+                ", \"observable\": \"%s\", \"chi2\": %.3f, \"df\": %" PRIu64
+                ", \"accept\": %s},\n",
+                n, eq_interactions, trials, obs_name, chi.statistic, chi.df,
+                chi.accept() ? "true" : "false");
+  }
+
+  print_scaling(
+      sim, max_n,
+      [&](pops::BatchedCountSimulation& s, std::uint64_t n) {
+        pops::Rng seeder(0x5EED ^ n);
+        lazy.seed_initial(s, n, seeder);
+      },
+      [&](const pops::BatchedCountSimulation& s) {
+        return lazy.count_matching(s.counts(), observable);
+      },
+      obs_name);
+  // The JIT accounting comes last so it reflects everything the config ran.
+  std::printf(",\n     \"lazy\": {\"states_interned\": %u, \"pairs_compiled\": %zu, "
+              "\"paths\": %" PRIu64 "}}",
+              lazy.num_states(), lazy.pairs_compiled(), lazy.paths_explored());
 }
 
 }  // namespace
@@ -109,6 +202,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--max-n=", 8) == 0) {
       max_n = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      max_n = 100000000ULL;
     }
   }
 
@@ -126,12 +222,23 @@ int main(int argc, char** argv) {
            [](const pops::LogSizeEstimation::State& s) { return s.role == pops::Role::A; },
            "workers");
   }
-  if (pops::bench_scale() >= 1) {
+  if (pops::bench_scale() >= 1 && !quick) {
     const auto proto = pops::log_size_small();
     report("log_size_estimation/small", proto, proto.geometric_cap(), max_n,
            /*eq_interactions=*/30000, /*eq_seed=*/0x9E11,
            [](const pops::LogSizeEstimation::State& s) { return s.role == pops::Role::A; },
            "workers");
+  }
+  {
+    // JIT-only: the eager closure of this preset is infeasible (see
+    // compile/headline.hpp); runs in every mode since the lazy path is the
+    // thing --quick must smoke-test.
+    const auto proto = pops::log_size_c8();
+    report_lazy("log_size_estimation/c8_lazy", proto, proto.geometric_cap(),
+                std::min<std::uint64_t>(max_n, 10000000000ULL),
+                /*eq_interactions=*/30000, /*eq_seed=*/0x9E14,
+                [](const pops::LogSizeEstimation::State& s) { return s.role == pops::Role::A; },
+                "workers");
   }
   {
     const auto proto = pops::bounded_majority(0.55);

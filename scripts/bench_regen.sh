@@ -4,43 +4,73 @@
 # the files in the repo root.  Diff interactions_per_sec across PRs to track
 # the trajectory (ROADMAP "Perf trajectory").
 #
-# Usage: scripts/bench_regen.sh [--max-n=N]
+# Usage: scripts/bench_regen.sh [--max-n=N] [--quick]
 #   --max-n caps the batched/compiled sweeps (default 10^9 batched,
 #   bench-scale default for compiled); POPS_BENCH_SCALE=0/1/2 scales the
 #   compiled bench's trial counts and presets as usual.
+#   --quick is the seconds-scale smoke mode (registered as the tier-2 ctest
+#   target bench_regen_quick): it reuses already-built binaries from
+#   $POPS_BENCH_BUILD_DIR (default ./build) without reconfiguring, shrinks
+#   every sweep, and writes into the build directory instead of the
+#   committed BENCH_*.json — its job is catching perf-path breakage (JIT,
+#   sparse dispatch, fused sampling) on every ctest run, not producing
+#   trajectory numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Plain string, not an array: expanding an empty array under `set -u`
 # aborts on bash < 4.4 (macOS ships 3.2).
 MAX_N_ARG=""
+QUICK=0
 for arg in "$@"; do
   case "$arg" in
     --max-n=*) MAX_N_ARG="$arg" ;;
+    --quick) QUICK=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j --target bench_batched bench_compiled_scaling
+BUILD_DIR="${POPS_BENCH_BUILD_DIR:-build}"
+
+if [ "$QUICK" = 1 ]; then
+  for bin in bench_batched bench_compiled_scaling; do
+    if [ ! -x "$BUILD_DIR/$bin" ]; then
+      echo "bench_regen --quick: $BUILD_DIR/$bin missing; build it first" >&2
+      exit 3
+    fi
+  done
+  OUT_DIR="$BUILD_DIR/bench_quick"
+  mkdir -p "$OUT_DIR"
+  echo "== quick smoke: bench_batched -> $OUT_DIR/BENCH_batched.json"
+  POPS_BENCH_SCALE=0 "$BUILD_DIR/bench_batched" --max-n=100000000 \
+    > "$OUT_DIR/BENCH_batched.json"
+  echo "== quick smoke: bench_compiled_scaling -> $OUT_DIR/BENCH_compiled.json"
+  POPS_BENCH_SCALE=0 "$BUILD_DIR/bench_compiled_scaling" --quick \
+    > "$OUT_DIR/BENCH_compiled.json"
+  echo "quick smoke done: $OUT_DIR"
+  exit 0
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_batched bench_compiled_scaling
 
 # bench_micro exists only when google-benchmark was found at configure time
 # (find_package(benchmark QUIET) in CMakeLists).  Probe the configure result,
 # not a possibly-stale binary, and let a real build failure abort loudly
 # (set -e) instead of silently keeping an old BENCH_micro.json.
-if grep -q '^benchmark_DIR:PATH=[^-]' build/CMakeCache.txt 2>/dev/null &&
-   ! grep -q '^benchmark_DIR:PATH=.*-NOTFOUND' build/CMakeCache.txt; then
-  cmake --build build -j --target bench_micro
+if grep -q '^benchmark_DIR:PATH=[^-]' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null &&
+   ! grep -q '^benchmark_DIR:PATH=.*-NOTFOUND' "$BUILD_DIR/CMakeCache.txt"; then
+  cmake --build "$BUILD_DIR" -j --target bench_micro
   echo "== bench_micro -> BENCH_micro.json"
-  ./build/bench_micro > BENCH_micro.json
+  "$BUILD_DIR/bench_micro" > BENCH_micro.json
 else
   echo "== bench_micro skipped (google-benchmark not found at configure time)"
 fi
 
 echo "== bench_batched -> BENCH_batched.json"
-./build/bench_batched $MAX_N_ARG > BENCH_batched.json
+"$BUILD_DIR/bench_batched" $MAX_N_ARG > BENCH_batched.json
 
 echo "== bench_compiled_scaling -> BENCH_compiled.json"
-./build/bench_compiled_scaling $MAX_N_ARG > BENCH_compiled.json
+"$BUILD_DIR/bench_compiled_scaling" $MAX_N_ARG > BENCH_compiled.json
 
 echo "done: BENCH_micro.json BENCH_batched.json BENCH_compiled.json"

@@ -27,11 +27,21 @@
 // `state_label`, required to be injective on saturated states.  `Bounded`'s
 // saturate hook runs before any state reaches the compiler, so labels never
 // see a dead field's stale value; distinct labels really are distinct
-// behaviors.  Labels are interned to dense ids in BFS discovery order, and
-// the id is simultaneously (a) the index into `CompileResult::states` (the
+// behaviors.  Labels are interned to dense ids in discovery order, and the
+// id is simultaneously (a) the index into `CompileResult::states` (the
 // typed representative, for evaluating observables on count vectors) and
 // (b) the `FiniteSpec` state id (names registered in the same order), so no
 // translation table is needed between the typed and the compiled world.
+//
+// The interning + branch-enumeration machinery lives in `CompilerCore`,
+// shared by two closure strategies:
+//   * eager — `ProtocolCompiler` BFS-closes the whole reachable pair space
+//     up front (this file); states² pair enumeration caps interactive
+//     compiles at geometric caps c ≈ 4;
+//   * lazy  — `LazyCompiledSpec` (compile/lazy.hpp) interns states on first
+//     contact *during simulation* and compiles only the (receiver, sender)
+//     pairs a run actually touches, lifting the states² barrier and
+//     admitting caps c ≈ log₂ n.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +74,135 @@ concept CompilableProtocol =
 struct CompileOptions {
   std::size_t max_states = 100000;         ///< explosion guard (throws beyond)
   std::size_t max_transitions = 30000000;  ///< ~720 MB of Transition entries
+  std::size_t max_pairs = 20000000;        ///< lazy-mode registered-pair guard
+};
+
+/// Seed a count-API simulator with the n-agent initial configuration: each
+/// agent draws independently from `distribution` (indexed by state id),
+/// realized exactly by a chained binomial split (multinomial sampling).
+template <typename Sim>
+void seed_initial_distribution(Sim& sim, std::uint64_t n, Rng& rng,
+                               const std::vector<double>& distribution) {
+  std::uint64_t rem = n;
+  double rest = 1.0;
+  for (std::uint32_t id = 0; id < distribution.size() && rem > 0; ++id) {
+    const double p = distribution[id];
+    if (p <= 0.0) continue;
+    const std::uint64_t k = p >= rest ? rem : binomial(rng, rem, p / rest);
+    if (k > 0) sim.set_count(id, k);
+    rem -= k;
+    rest -= p;
+  }
+  POPS_REQUIRE(rem == 0, "initial distribution left agents unassigned");
+}
+
+/// Typed observable on a count vector: total count over states satisfying
+/// `pred` (a predicate on the typed state).
+template <typename State, typename Pred>
+std::uint64_t count_matching_states(const std::vector<State>& states,
+                                    const std::vector<std::uint64_t>& counts,
+                                    Pred&& pred) {
+  POPS_REQUIRE(counts.size() <= states.size(), "count vector/spec size mismatch");
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 0 && pred(states[i])) total += counts[i];
+  }
+  return total;
+}
+
+/// The machinery both compilation modes share: canonical-label interning to
+/// dense ids (mirrored into a FiniteSpec name registry), ChoiceRng branch
+/// enumeration of `initial`, and per-pair branch enumeration of `interact`
+/// with per-output rate merging.
+template <CompilableProtocol P>
+class CompilerCore {
+ public:
+  struct CellEntry {
+    std::uint32_t out_receiver = 0;
+    std::uint32_t out_sender = 0;
+    double rate = 1.0;
+  };
+
+  CompilerCore(P protocol, std::uint32_t geometric_cap, CompileOptions opts)
+      : proto_(std::move(protocol)), cap_(geometric_cap), opts_(opts) {}
+
+  const P& protocol() const { return proto_; }
+  std::uint32_t geometric_cap() const { return cap_; }
+  const CompileOptions& options() const { return opts_; }
+  const FiniteSpec& spec() const { return spec_; }
+  FiniteSpec& mutable_spec() { return spec_; }
+  const std::vector<typename P::State>& states() const { return states_; }
+  std::uint32_t num_states() const { return static_cast<std::uint32_t>(states_.size()); }
+  std::uint64_t pairs_explored() const { return pairs_explored_; }
+  std::uint64_t paths_explored() const { return paths_explored_; }
+
+  /// Intern a (saturated) state, returning its dense id.
+  std::uint32_t intern(const typename P::State& s) {
+    std::string label = proto_.state_label(s);
+    const auto [it, inserted] =
+        ids_.try_emplace(std::move(label), static_cast<std::uint32_t>(states_.size()));
+    if (inserted) {
+      POPS_REQUIRE(states_.size() < opts_.max_states,
+                   "state-space explosion: raise CompileOptions.max_states or "
+                   "lower the field caps");
+      states_.push_back(s);
+      const std::uint32_t spec_id = spec_.state(it->first);
+      POPS_REQUIRE(spec_id == it->second, "spec/compiler id order diverged");
+    }
+    return it->second;
+  }
+
+  /// Enumerate the initial states and accumulate their exact distribution
+  /// (indexed by id; grows `distribution` as states intern).
+  void enumerate_initial(std::vector<double>& distribution) {
+    enumerate_choices(cap_, [&](ChoiceRng& rng) {
+      typename P::State s = proto_.initial(rng);
+      const std::uint32_t id = intern(s);
+      if (distribution.size() < states_.size()) {
+        distribution.resize(states_.size(), 0.0);
+      }
+      distribution[id] += rng.path_probability();
+    });
+  }
+
+  /// Enumerate all interaction branches of ordered input pair (r, s) and
+  /// merge per-output probabilities (identity outputs stay residual null
+  /// mass).  Output states intern as they appear; the returned reference is
+  /// valid until the next explore() call.
+  const std::vector<CellEntry>& explore(std::uint32_t r, std::uint32_t s) {
+    cell_.clear();
+    enumerate_choices(cap_, [&](ChoiceRng& rng) {
+      typename P::State a = states_[r];  // fresh copies per path; intern()
+      typename P::State b = states_[s];  // below may grow states_
+      proto_.interact(a, b, rng);
+      ++paths_explored_;
+      const std::uint32_t oa = intern(a);
+      const std::uint32_t ob = intern(b);
+      if (oa == r && ob == s) return;  // null path
+      const double p = rng.path_probability();
+      for (auto& c : cell_) {
+        if (c.out_receiver == oa && c.out_sender == ob) {
+          c.rate += p;
+          return;
+        }
+      }
+      cell_.push_back(CellEntry{oa, ob, p});
+    });
+    ++pairs_explored_;
+    for (auto& c : cell_) c.rate = c.rate > 1.0 ? 1.0 : c.rate;
+    return cell_;
+  }
+
+ private:
+  P proto_;
+  std::uint32_t cap_;
+  CompileOptions opts_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<typename P::State> states_;
+  FiniteSpec spec_;  ///< names interned in id order; transitions only eager
+  std::vector<CellEntry> cell_;
+  std::uint64_t pairs_explored_ = 0;
+  std::uint64_t paths_explored_ = 0;
 };
 
 template <CompilableProtocol P>
@@ -86,22 +225,10 @@ struct CompileResult {
     return ids;
   }
 
-  /// Seed a count-API simulator with the n-agent initial configuration: each
-  /// agent draws independently from `initial_distribution`, realized exactly
-  /// by a chained binomial split (multinomial sampling).
+  /// Seed a count-API simulator with the n-agent initial configuration.
   template <typename Sim>
   void seed_initial(Sim& sim, std::uint64_t n, Rng& rng) const {
-    std::uint64_t rem = n;
-    double rest = 1.0;
-    for (std::uint32_t id = 0; id < initial_distribution.size() && rem > 0; ++id) {
-      const double p = initial_distribution[id];
-      if (p <= 0.0) continue;
-      const std::uint64_t k = p >= rest ? rem : binomial(rng, rem, p / rest);
-      if (k > 0) sim.set_count(id, k);
-      rem -= k;
-      rest -= p;
-    }
-    POPS_REQUIRE(rem == 0, "initial distribution left agents unassigned");
+    seed_initial_distribution(sim, n, rng, initial_distribution);
   }
 
   /// Typed observable on a count vector: total count over states satisfying
@@ -110,11 +237,7 @@ struct CompileResult {
   std::uint64_t count_matching(const std::vector<std::uint64_t>& counts,
                                Pred&& pred) const {
     POPS_REQUIRE(counts.size() == states.size(), "count vector/spec size mismatch");
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-      if (counts[i] != 0 && pred(states[i])) total += counts[i];
-    }
-    return total;
+    return count_matching_states(states, counts, pred);
   }
 };
 
@@ -137,87 +260,42 @@ class ProtocolCompiler {
   /// `geometric_cap` bounds branch enumeration of geometric draws and must
   /// match the cap the protocol simulates with (compile_bounded ties them).
   ProtocolCompiler(P protocol, std::uint32_t geometric_cap, CompileOptions opts = {})
-      : proto_(std::move(protocol)), cap_(geometric_cap), opts_(opts) {}
+      : core_(std::move(protocol), geometric_cap, opts) {}
 
   CompileResult<P> compile() {
     CompileResult<P> out;
-    // Initial states and their exact distribution.
-    enumerate_choices(cap_, [&](ChoiceRng& rng) {
-      typename P::State s = proto_.initial(rng);
-      const std::uint32_t id = intern(s, out);
-      if (out.initial_distribution.size() < out.states.size()) {
-        out.initial_distribution.resize(out.states.size(), 0.0);
-      }
-      out.initial_distribution[id] += rng.path_probability();
-    });
+    core_.enumerate_initial(out.initial_distribution);
     // Reachable-pair closure.  Processing state u pairs it (both orders)
     // with every state discovered no later than u; states discovered during
     // u's row get larger ids and handle the (u, ·) pairs on their own turn —
     // every ordered pair of reachable states is explored exactly once.
-    std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> cell;
-    for (std::uint32_t u = 0; u < out.states.size(); ++u) {
+    for (std::uint32_t u = 0; u < core_.num_states(); ++u) {
       for (std::uint32_t v = 0; v <= u; ++v) {
-        explore(u, v, out, cell);
-        if (v != u) explore(v, u, out, cell);
+        emit(u, v);
+        if (v != u) emit(v, u);
       }
     }
-    out.initial_distribution.resize(out.states.size(), 0.0);
+    out.initial_distribution.resize(core_.num_states(), 0.0);
+    out.pairs_explored = core_.pairs_explored();
+    out.paths_explored = core_.paths_explored();
+    out.states = core_.states();
+    out.spec = std::move(core_.mutable_spec());
     out.spec.validate();
     return out;
   }
 
  private:
-  /// Enumerate all interaction branches of ordered input pair (r, s), merge
-  /// per-output probabilities, and emit rated transitions (identity outputs
-  /// stay residual null mass).
-  void explore(std::uint32_t r, std::uint32_t s, CompileResult<P>& out,
-               std::vector<std::tuple<std::uint32_t, std::uint32_t, double>>& cell) {
-    cell.clear();
-    enumerate_choices(cap_, [&](ChoiceRng& rng) {
-      typename P::State a = out.states[r];  // fresh copies per path; intern()
-      typename P::State b = out.states[s];  // below may grow `states`
-      proto_.interact(a, b, rng);
-      ++out.paths_explored;
-      const std::uint32_t oa = intern(a, out);
-      const std::uint32_t ob = intern(b, out);
-      if (oa == r && ob == s) return;  // null path
-      const double p = rng.path_probability();
-      for (auto& [cr, cs, cp] : cell) {
-        if (cr == oa && cs == ob) {
-          cp += p;
-          return;
-        }
-      }
-      cell.emplace_back(oa, ob, p);
-    });
-    ++out.pairs_explored;
-    for (const auto& [cr, cs, p] : cell) {
-      out.spec.add(r, s, cr, cs, p > 1.0 ? 1.0 : p);
+  void emit(std::uint32_t r, std::uint32_t s) {
+    const auto& cell = core_.explore(r, s);
+    for (const auto& c : cell) {
+      core_.mutable_spec().add(r, s, c.out_receiver, c.out_sender, c.rate);
     }
-    POPS_REQUIRE(out.num_transitions() <= opts_.max_transitions,
+    POPS_REQUIRE(core_.spec().transitions().size() <= core_.options().max_transitions,
                  "transition explosion: raise CompileOptions.max_transitions or "
                  "lower the field caps");
   }
 
-  std::uint32_t intern(const typename P::State& s, CompileResult<P>& out) {
-    std::string label = proto_.state_label(s);
-    const auto [it, inserted] =
-        ids_.try_emplace(std::move(label), static_cast<std::uint32_t>(out.states.size()));
-    if (inserted) {
-      POPS_REQUIRE(out.states.size() < opts_.max_states,
-                   "state-space explosion: raise CompileOptions.max_states or "
-                   "lower the field caps");
-      out.states.push_back(s);
-      const std::uint32_t spec_id = out.spec.state(it->first);
-      POPS_REQUIRE(spec_id == it->second, "spec/compiler id order diverged");
-    }
-    return it->second;
-  }
-
-  P proto_;
-  std::uint32_t cap_;
-  CompileOptions opts_;
-  std::unordered_map<std::string, std::uint32_t> ids_;
+  CompilerCore<P> core_;
 };
 
 /// One-call path for the common case: wrap a BoundableProtocol at the given

@@ -59,6 +59,20 @@ inline Bounded<LogSizeEstimation> log_size_small() {
       /*geometric_cap=*/3);
 }
 
+/// JIT-only regime: cap 8 with the paper-shaped (time × epoch) cycle kept
+/// wide (Tm 16, Em 3).  The reachable space is ≳10⁵ states and its eager
+/// pair closure runs to ~10¹⁰ ordered pairs — far beyond interactive eager
+/// compiles — but a run only dispatches the pairs its configuration
+/// co-occupies, which is what `LazyCompiledSpec` compiles (measured: ~1.1·10⁴
+/// interned states / ~10⁶ compiled pairs after an n = 10⁵ convergence run;
+/// see BENCH_compiled.json "log_size_estimation/c8_lazy").
+inline Bounded<LogSizeEstimation> log_size_c8() {
+  return Bounded<LogSizeEstimation>(
+      LogSizeEstimation(LogSizeEstimation::Params{
+          .time_multiplier = 16, .epoch_multiplier = 3, .logsize_offset = 1}),
+      /*geometric_cap=*/8);
+}
+
 // --------------------------------------------------------- composition ----
 
 /// Composition parameters shared by the majority / leader-election presets:

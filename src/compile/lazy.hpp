@@ -1,0 +1,129 @@
+// Lazy/JIT compilation: intern states on first contact, compile each
+// (receiver, sender) pair the first time a simulation dispatches it.
+//
+// The eager `ProtocolCompiler` closes the whole reachable pair space up
+// front — states² pair enumeration, which pins interactive compiles at
+// geometric caps c ≈ 4 and makes the distribution-faithful regime
+// (c ≳ log₂ n) unreachable.  But a *run* only ever dispatches pairs of
+// states that actually co-occur in its configuration: for the headline
+// protocols at c = 8 that is orders of magnitude below the closure's pair
+// space.  `LazyCompiledSpec` exploits this by implementing the simulators'
+// `JitCompiler` hook (sim/dispatch.hpp):
+//
+//   * construction enumerates only the initial states (exact distribution,
+//     as in the eager path) and registers them with an empty DispatchTable;
+//   * when a simulator's dispatch lookup misses, it calls `compile_pair`,
+//     which replays `interact` over every randomized branch (ChoiceRng),
+//     interns any new output states, and registers the resulting cell —
+//     explicitly-null cells included, so each pair compiles exactly once;
+//   * the table extends incrementally (sparse rows) and the simulator grows
+//     its count vectors to match, so the states² compile barrier and the S²
+//     table memory floor both disappear.
+//
+// Pair compilation consumes no simulation randomness (branch enumeration is
+// deterministic), so a lazy run under a fixed seed is reproducible, and the
+// compiled fragment is *exactly* the eager closure restricted to touched
+// pairs: the lazily-interned state set is a subset of the eager state set
+// (modulo id numbering — both intern in discovery order, but discovery
+// orders differ) and every compiled cell carries identical transitions
+// (tests/test_lazy_compile.cpp asserts both).  The table persists across
+// `reset()`/trials on the same LazyCompiledSpec, so multi-trial experiments
+// pay the JIT cost once — warm trials run at full batched speed.
+//
+// Not thread-safe: one LazyCompiledSpec must not back simulators stepping
+// concurrently (compile_pair mutates the shared table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/require.hpp"
+
+namespace pops {
+
+template <CompilableProtocol P>
+class LazyCompiledSpec final : public JitCompiler {
+ public:
+  explicit LazyCompiledSpec(P protocol, std::uint32_t geometric_cap,
+                            CompileOptions opts = {},
+                            DispatchTable::RowLayout layout = DispatchTable::RowLayout::kAuto)
+      : core_(std::move(protocol), geometric_cap, opts),
+        table_(0, layout) {
+    core_.enumerate_initial(initial_distribution_);
+    initial_distribution_.resize(core_.num_states(), 0.0);
+    table_.grow_states(core_.num_states());
+  }
+
+  // ------------------------------------------------ JitCompiler interface --
+
+  void compile_pair(std::uint32_t receiver, std::uint32_t sender) override {
+    POPS_REQUIRE(table_.num_cells() < core_.options().max_pairs,
+                 "pair explosion: raise CompileOptions.max_pairs or lower the "
+                 "field caps");
+    const auto& cell = core_.explore(receiver, sender);
+    entries_.clear();
+    for (const auto& c : cell) {
+      entries_.push_back(DispatchTable::Entry{c.out_receiver, c.out_sender, c.rate});
+    }
+    table_.grow_states(core_.num_states());  // outputs may be new states
+    table_.set_cell(receiver, sender, entries_.data(),
+                    static_cast<std::uint32_t>(entries_.size()));
+  }
+
+  const DispatchTable& table() const override { return table_; }
+  const FiniteSpec& spec() const override { return core_.spec(); }
+
+  // ------------------------------------------------------------ compiled --
+
+  const P& protocol() const { return core_.protocol(); }
+  std::uint32_t geometric_cap() const { return core_.geometric_cap(); }
+  std::uint32_t num_states() const { return core_.num_states(); }
+  std::size_t pairs_compiled() const { return table_.num_cells(); }
+  std::uint64_t paths_explored() const { return core_.paths_explored(); }
+  const std::vector<typename P::State>& states() const { return core_.states(); }
+  const std::vector<double>& initial_distribution() const { return initial_distribution_; }
+
+  /// Ids carrying positive initial mass.
+  std::vector<std::uint32_t> initial_states() const {
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < initial_distribution_.size(); ++i) {
+      if (initial_distribution_[i] > 0.0) ids.push_back(i);
+    }
+    return ids;
+  }
+
+  /// Seed a count-API simulator with the n-agent initial configuration.
+  template <typename Sim>
+  void seed_initial(Sim& sim, std::uint64_t n, Rng& rng) const {
+    seed_initial_distribution(sim, n, rng, initial_distribution_);
+  }
+
+  /// Typed observable on a count vector.  `counts` may be shorter than the
+  /// interned state set (a snapshot taken before later pairs compiled).
+  template <typename Pred>
+  std::uint64_t count_matching(const std::vector<std::uint64_t>& counts,
+                               Pred&& pred) const {
+    return count_matching_states(core_.states(), counts, pred);
+  }
+
+ private:
+  CompilerCore<P> core_;
+  DispatchTable table_;
+  std::vector<double> initial_distribution_;
+  std::vector<DispatchTable::Entry> entries_;  ///< compile_pair scratch
+};
+
+/// One-call path mirroring `compile_bounded`: wrap a BoundableProtocol at
+/// the given geometric cap for lazy compilation, caps tied.
+template <BoundableProtocol P>
+LazyCompiledSpec<Bounded<P>> lazy_compile_bounded(P base, std::uint32_t geometric_cap,
+                                                  CompileOptions opts = {}) {
+  Bounded<P> bounded(std::move(base), geometric_cap);
+  return LazyCompiledSpec<Bounded<P>>(std::move(bounded), geometric_cap, opts);
+}
+
+}  // namespace pops

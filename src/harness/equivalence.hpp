@@ -14,6 +14,7 @@
 #include <map>
 
 #include "compile/compiler.hpp"
+#include "compile/lazy.hpp"
 #include "harness/trials.hpp"
 #include "sim/agent_simulation.hpp"
 #include "sim/batched_count_simulation.hpp"
@@ -21,12 +22,11 @@
 
 namespace pops {
 
+/// Agent-side histogram shared by the eager and lazy harness entry points.
 template <typename P, typename Obs>
-TwoSampleChiSquare compiled_agent_equivalence(const P& proto,
-                                              const CompileResult<P>& compiled,
-                                              std::uint64_t n, std::uint64_t interactions,
-                                              std::uint64_t trials,
-                                              std::uint64_t master_seed, Obs&& observable) {
+std::map<std::uint64_t, std::uint64_t> agent_observable_histogram(
+    const P& proto, std::uint64_t n, std::uint64_t interactions, std::uint64_t trials,
+    std::uint64_t master_seed, Obs&& observable) {
   const auto agent_values = run_trials_parallel(
       trials, master_seed, [&](std::uint64_t seed, std::uint64_t) {
         AgentSimulation<P> sim(proto, n, seed);
@@ -35,8 +35,20 @@ TwoSampleChiSquare compiled_agent_equivalence(const P& proto,
         for (const auto& a : sim.agents()) value += observable(a) ? 1 : 0;
         return value;
       });
-  std::map<std::uint64_t, std::uint64_t> agent_hist, count_hist;
-  for (const auto v : agent_values) ++agent_hist[v];
+  std::map<std::uint64_t, std::uint64_t> hist;
+  for (const auto v : agent_values) ++hist[v];
+  return hist;
+}
+
+template <typename P, typename Obs>
+TwoSampleChiSquare compiled_agent_equivalence(const P& proto,
+                                              const CompileResult<P>& compiled,
+                                              std::uint64_t n, std::uint64_t interactions,
+                                              std::uint64_t trials,
+                                              std::uint64_t master_seed, Obs&& observable) {
+  const auto agent_hist =
+      agent_observable_histogram(proto, n, interactions, trials, master_seed, observable);
+  std::map<std::uint64_t, std::uint64_t> count_hist;
   BatchedCountSimulation sim(compiled.spec, 1);
   for (std::uint64_t i = 0; i < trials; ++i) {
     sim.reset(trial_seed(master_seed ^ 0xBA7C4EDULL, i));
@@ -44,6 +56,29 @@ TwoSampleChiSquare compiled_agent_equivalence(const P& proto,
     compiled.seed_initial(sim, n, seeder);
     sim.steps(interactions);
     ++count_hist[compiled.count_matching(sim.counts(), observable)];
+  }
+  return two_sample_chi_square(agent_hist, count_hist);
+}
+
+/// Lazy-mode overload: same agent side, batched side JIT-compiles pairs on
+/// first contact.  Trials share `lazy`'s table — the first trial warms it,
+/// the rest run compiled — and run sequentially (the JIT is not
+/// thread-safe), which small-n certification trials can afford.
+template <typename P, typename Obs>
+TwoSampleChiSquare compiled_agent_equivalence(const P& proto, LazyCompiledSpec<P>& lazy,
+                                              std::uint64_t n, std::uint64_t interactions,
+                                              std::uint64_t trials,
+                                              std::uint64_t master_seed, Obs&& observable) {
+  const auto agent_hist =
+      agent_observable_histogram(proto, n, interactions, trials, master_seed, observable);
+  std::map<std::uint64_t, std::uint64_t> count_hist;
+  BatchedCountSimulation sim(lazy, 1);
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    sim.reset(trial_seed(master_seed ^ 0xBA7C4EDULL, i));
+    Rng seeder(trial_seed(master_seed ^ 0x5EEDULL, i));
+    lazy.seed_initial(sim, n, seeder);
+    sim.steps(interactions);
+    ++count_hist[lazy.count_matching(sim.counts(), observable)];
   }
   return two_sample_chi_square(agent_hist, count_hist);
 }

@@ -15,14 +15,26 @@
 //      ("collision"), via inversion of the birthday survival function
 //      P(L > t) = (n)_{2t} / (n(n-1))^t  (binary search, O(log n) evals).
 //   2. The 2(L−1) agents of the collision-free prefix are a uniform sample
-//      without replacement from the configuration: draw the receiver and
-//      sender state multisets by multivariate hypergeometric, pair them by
-//      a sequentially-sampled contingency table, and apply every transition
-//      by count arithmetic (randomized transitions split by binomial draws).
+//      without replacement from the configuration: draw their *joint* state
+//      multiset with one multivariate hypergeometric pass, split it into
+//      receiver/sender multisets (the receivers are a uniform t-subset of
+//      the 2t agents, so the receiver class counts are again multivariate
+//      hypergeometric — one fused draw replaces the former two full-
+//      configuration draws), pair them by a uniform bipartite matching, and
+//      apply every transition by count arithmetic (randomized transitions
+//      split by binomial draws).
 //   3. Resolve the single colliding interaction exactly: the repeated agent
 //      is uniform among the 2(L−1) touched agents (whose post-batch states
 //      are known as a multiset), its partner uniform among touched/untouched
 //      pools with the exact conditional weights.
+//
+// Every per-epoch structure is sparse in the *occupied* state classes — a
+// persistent occupied-class list (compacted once per epoch) drives the
+// hypergeometric pass, touched-class lists drive the merges, and scratch is
+// cleared by id list rather than by O(S) fills — so a 10⁴–10⁵-state compiled
+// spec pays for the classes it populates, not for S.  Dispatch goes through
+// the sparse `DispatchTable` rows; with a `JitCompiler` source, pairs
+// compile on first contact and the count vectors grow as states intern.
 //
 // Truncating an epoch after a fixed number of interactions is also exact —
 // whether a prefix is collision-free depends only on agent identities, which
@@ -44,55 +56,71 @@
 #include "sim/finite_spec.hpp"
 #include "sim/require.hpp"
 #include "sim/rng.hpp"
-#include "sim/weighted_sampler.hpp"
 #include "stats/discrete.hpp"
 
 namespace pops {
 
 class BatchedCountSimulation {
  public:
-  BatchedCountSimulation(FiniteSpec spec, std::uint64_t seed)
-      : spec_(std::move(spec)), rng_(seed) {
-    spec_.validate();
-    dispatch_ = DispatchTable(spec_);
-    const std::uint32_t s = spec_.num_states();
-    counts_.assign(s, 0);
-    touched_.assign(s, 0);
-    recv_.assign(s, 0);
-    send_.assign(s, 0);
-    occupied_send_.reserve(s);
-    send_sampler_.resize(s);
-    cell_accum_.assign(s, 0);
-    cell_touched_.reserve(s);
+  BatchedCountSimulation(FiniteSpec spec, std::uint64_t seed,
+                         DispatchTable::RowLayout layout = DispatchTable::RowLayout::kAuto)
+      : spec_storage_(std::move(spec)), spec_(&spec_storage_), rng_(seed) {
+    spec_storage_.validate();
+    table_storage_ = DispatchTable(spec_storage_, layout);
+    dispatch_ = &table_storage_;
+    init_scratch(dispatch_->num_states());
   }
+
+  /// Lazy/JIT mode: pairs compile on first contact; `jit` must outlive the
+  /// simulator (it owns the growing table and the interned state names).
+  BatchedCountSimulation(JitCompiler& jit, std::uint64_t seed)
+      : spec_(&jit.spec()), rng_(seed), dispatch_(&jit.table()), jit_(&jit) {
+    init_scratch(dispatch_->num_states());
+  }
+
+  // spec_/dispatch_ point into own storage in eager mode; copies would dangle.
+  BatchedCountSimulation(const BatchedCountSimulation&) = delete;
+  BatchedCountSimulation& operator=(const BatchedCountSimulation&) = delete;
 
   /// Reset to an empty configuration with a fresh seed, reusing the compiled
   /// dispatch table.  For multi-trial experiments on compiled specs the
-  /// CSR build (millions of entries) dwarfs a trial, so trials reseed one
-  /// simulator instead of constructing one each.
+  /// table build (millions of entries — or, lazily, the JIT warm-up) dwarfs
+  /// a trial, so trials reseed one simulator instead of constructing one each.
   void reset(std::uint64_t seed) {
     rng_.reseed(seed);
-    std::fill(counts_.begin(), counts_.end(), 0);
+    sync_states();
+    for (const std::uint32_t i : occupied_) {
+      counts_[i] = 0;
+      in_occupied_[i] = 0;
+    }
+    occupied_.clear();
     total_ = 0;
     interactions_ = 0;
   }
 
   /// Set the initial count of a state (before stepping).
   void set_count(const std::string& state, std::uint64_t count) {
-    set_count(spec_.id(state), count);
+    set_count(spec_->id(state), count);
   }
   void set_count(std::uint32_t state, std::uint64_t count) {
+    sync_states();
     total_ = total_ - counts_.at(state) + count;
     counts_.at(state) = count;
+    if (count != 0 && !in_occupied_[state]) {
+      in_occupied_[state] = 1;
+      occupied_.push_back(state);
+    }
   }
 
   std::uint64_t count(const std::string& state) const {
-    return spec_.has_state(state) ? counts_[spec_.id(state)] : 0;
+    return spec_->has_state(state) ? count(spec_->id(state)) : 0;
   }
-  std::uint64_t count(std::uint32_t state) const { return counts_.at(state); }
+  std::uint64_t count(std::uint32_t state) const {
+    return state < counts_.size() ? counts_[state] : 0;
+  }
   std::uint64_t population_size() const { return total_; }
   std::uint64_t interactions() const { return interactions_; }
-  const FiniteSpec& spec() const { return spec_; }
+  const FiniteSpec& spec() const { return *spec_; }
 
   double time() const {
     return static_cast<double>(interactions_) / static_cast<double>(total_);
@@ -106,6 +134,10 @@ class BatchedCountSimulation {
   void steps(std::uint64_t k) {
     if (k == 0) return;
     POPS_REQUIRE(total_ >= 2, "population too small to interact");
+    // Another simulator sharing our JIT source may have interned states
+    // since we last ran: its compiled cells are `present` (so our lookup
+    // fallback won't fire) yet can output ids beyond our scratch vectors.
+    sync_states();
     while (k > 0) k -= epoch(k);
   }
 
@@ -207,58 +239,112 @@ class BatchedCountSimulation {
   /// `counts_` (untouched agents) and `touched_` (post-batch states of the
   /// 2t touched agents) for collision resolution; otherwise it is merged.
   void run_batch(std::uint64_t t, bool keep_split) {
-    const std::uint32_t s = spec_.num_states();
-    std::fill(touched_.begin(), touched_.end(), 0);
-    // Receiver and sender state multisets: uniform without replacement.
-    draw_without_replacement(t, recv_);
-    draw_without_replacement(t, send_);
-    // Compiled specs have thousands of states, of which a batch occupies at
-    // most min(t, S); the pairing below must iterate occupied classes, not
-    // the full state range.
-    occupied_send_.clear();
-    std::uint64_t occupied_recv = 0;
-    for (std::uint32_t j = 0; j < s; ++j) {
-      if (send_[j] != 0) occupied_send_.push_back(j);
-      if (recv_[j] != 0) ++occupied_recv;
+    draw_joint(t);
+    // Pair receivers with senders: a uniform bipartite matching.  Two
+    // equivalent samplers with opposite cost profiles:
+    //   * dense — a sequentially-sampled contingency table, one
+    //     hypergeometric per (receiver class, sender class): O(occ_r · occ_s)
+    //     draws.  Wins when the batch is huge relative to the occupied grid
+    //     (early dynamics, n ≳ 10^11).
+    //   * shuffle — expand the sender multiset into t slots, Fisher–Yates
+    //     shuffle, and let receiver classes consume slots in order: a
+    //     uniform permutation of the sender multiset against receiver slots
+    //     is exactly a uniform matching.  O(t) with tiny constants; wins
+    //     when the occupied grid is not tiny relative to the batch — a slot
+    //     write costs ~1/8 of a rejection draw, so the dense scan only wins
+    //     when occ_r · occ_s ≪ t (few huge classes at n ≳ 10¹¹).
+    // The shuffle buffer is capped so sub-√n epochs never allocate
+    // unboundedly at n = 10¹²⁺; past the cap the dense scan takes over.
+    std::uint64_t occ_r = 0, occ_s = 0;
+    for (const std::uint32_t j : joint_ids_) {
+      occ_r += recv_[j] != 0 ? 1 : 0;
+      occ_s += send_[j] != 0 ? 1 : 0;
     }
-    // Pair receivers with senders: a uniform bipartite matching, realized as
-    // a sequentially-sampled contingency table (each receiver class takes
-    // its share of the remaining sender pool; receiver classes are
-    // exchangeable, so conditioning row by row is exact).  Two equivalent
-    // samplers with opposite cost profiles:
-    //   * dense — one hypergeometric per (receiver class, sender class):
-    //     O(occ_r · occ_s) rejection draws.  Wins when the batch is huge
-    //     relative to the occupied grid (early dynamics, n ≳ 10^11).
-    //   * individual — draw each of the t senders by Fenwick descent on the
-    //     sender multiset: O(t log S).  Wins when a many-state compiled spec
-    //     saturates its occupancy (occ_r · occ_s ≫ t), where the dense scan
-    //     would spend ~20 hypergeometric draws per realized interaction.
-    // The ~5x factor below is the measured cost ratio of a rejection draw
-    // vs a Fenwick walk.
-    if (5 * t < occupied_recv * occupied_send_.size()) {
-      pair_individual(t);
-    } else {
+    if (occ_r * occ_s * 8 < t || t > kMaxShuffleSlots) {
       pair_dense(t);
+    } else {
+      pair_shuffle(t);
     }
+    for (const std::uint32_t j : joint_ids_) {
+      joint_[j] = 0;
+      recv_[j] = 0;
+      send_[j] = 0;
+    }
+    joint_ids_.clear();
     interactions_ += t;
     if (!keep_split) merge_touched();
   }
 
+  /// The fused batch draw.  Drawing t receivers then t senders without
+  /// replacement is distribution-identical to drawing the 2t batch agents in
+  /// one pass and then marking a uniform t-subset of them as receivers: the
+  /// joint class counts are one multivariate hypergeometric over the
+  /// occupied classes of the configuration, and conditioned on them the
+  /// receiver class counts are a multivariate hypergeometric of the (much
+  /// smaller, mostly small-count) joint multiset.  The former two
+  /// full-configuration passes collapse into one, and the occupied-class
+  /// list persists across epochs — only compaction of classes that emptied
+  /// touches it.
+  void draw_joint(std::uint64_t t) {
+    compact_occupied();
+    std::uint64_t remaining_total = total_;
+    std::uint64_t remaining = 2 * t;
+    joint_ids_.clear();
+    for (const std::uint32_t i : occupied_) {
+      if (remaining == 0) break;
+      const std::uint64_t c = counts_[i];
+      if (c == 0) continue;
+      const std::uint64_t k = hypergeometric(rng_, remaining_total, c, remaining);
+      remaining_total -= c;
+      if (k != 0) {
+        joint_[i] = k;
+        joint_ids_.push_back(i);
+        counts_[i] = c - k;
+        remaining -= k;
+      }
+    }
+    POPS_REQUIRE(remaining == 0, "batch draw exceeded population");
+    // Split: receivers are a uniform t-subset of the 2t drawn agents.
+    std::uint64_t pool = 2 * t;
+    std::uint64_t need = t;
+    for (const std::uint32_t i : joint_ids_) {
+      const std::uint64_t k =
+          need == 0 ? 0 : hypergeometric(rng_, pool, joint_[i], need);
+      recv_[i] = k;
+      send_[i] = joint_[i] - k;
+      pool -= joint_[i];
+      need -= k;
+    }
+  }
+
+  /// Drop occupied-list entries whose class emptied (agents drawn out and
+  /// never returned).  O(occupancy), once per epoch; the list never holds
+  /// duplicates, so multivariate passes see each class exactly once.
+  void compact_occupied() {
+    std::size_t w = 0;
+    for (const std::uint32_t i : occupied_) {
+      if (counts_[i] != 0) {
+        occupied_[w++] = i;
+      } else {
+        in_occupied_[i] = 0;
+      }
+    }
+    occupied_.resize(w);
+  }
+
   /// Dense contingency-table pairing: hypergeometric share per cell.
   void pair_dense(std::uint64_t t) {
-    const std::uint32_t s = spec_.num_states();
     std::uint64_t send_total = t;
-    for (std::uint32_t i = 0; i < s; ++i) {
+    for (const std::uint32_t i : joint_ids_) {
       std::uint64_t need = recv_[i];
       if (need == 0) continue;
       std::uint64_t pool = send_total;
-      for (const std::uint32_t j : occupied_send_) {
+      for (const std::uint32_t j : joint_ids_) {
         if (need == 0) break;
-        if (send_[j] == 0) {
-          continue;
-        }
-        const std::uint64_t d = hypergeometric(rng_, pool, send_[j], need);
-        pool -= send_[j];
+        const std::uint64_t sj = send_[j];
+        if (sj == 0) continue;
+        const std::uint64_t d = hypergeometric(rng_, pool, sj, need);
+        pool -= sj;
         if (d > 0) {
           send_[j] -= d;
           need -= d;
@@ -269,19 +355,24 @@ class BatchedCountSimulation {
     }
   }
 
-  /// Individual pairing: each receiver slot draws its sender uniformly
-  /// without replacement from the remaining multiset (Fenwick descent),
-  /// accumulating per-cell counts so randomized cells still split in bulk.
-  void pair_individual(std::uint64_t /*t*/) {
-    const std::uint32_t s = spec_.num_states();
-    send_sampler_.rebuild(send_);
-    for (std::uint32_t i = 0; i < s; ++i) {
+  /// Shuffle pairing: expand senders into slots, shuffle uniformly, consume
+  /// sequentially per receiver class, accumulating per-cell counts so
+  /// randomized cells still split in bulk.
+  void pair_shuffle(std::uint64_t t) {
+    sender_slots_.clear();
+    for (const std::uint32_t j : joint_ids_) {
+      sender_slots_.insert(sender_slots_.end(), static_cast<std::size_t>(send_[j]), j);
+    }
+    for (std::uint64_t k = t - 1; k > 0; --k) {
+      std::swap(sender_slots_[k], sender_slots_[rng_.below(k + 1)]);
+    }
+    std::size_t pos = 0;
+    for (const std::uint32_t i : joint_ids_) {
       std::uint64_t need = recv_[i];
       if (need == 0) continue;
       cell_touched_.clear();
       while (need-- > 0) {
-        const auto j = static_cast<std::uint32_t>(send_sampler_.sample(rng_));
-        send_sampler_.add(j, -1);
+        const std::uint32_t j = sender_slots_[pos++];
         if (cell_accum_[j]++ == 0) cell_touched_.push_back(j);
       }
       for (const std::uint32_t j : cell_touched_) {
@@ -289,53 +380,79 @@ class BatchedCountSimulation {
         cell_accum_[j] = 0;
       }
     }
-    std::fill(send_.begin(), send_.end(), 0);  // all senders consumed
-  }
-
-  /// Draw `t` agents without replacement from `counts_` into `out`
-  /// (multivariate hypergeometric) and remove them from `counts_`.
-  void draw_without_replacement(std::uint64_t t, std::vector<std::uint64_t>& out) {
-    multivariate_hypergeometric(rng_, counts_, t, out);
-    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] -= out[i];
   }
 
   /// Apply `d` simultaneous interactions with input pair (i, j), appending
   /// the output states to the touched multiset.  Randomized cells split `d`
   /// across their transitions (plus the residual null) by binomial draws.
   void apply_cell(std::uint32_t i, std::uint32_t j, std::uint64_t d) {
-    const std::size_t cell = dispatch_.cell(i, j);
-    switch (dispatch_.kind(cell)) {
+    const DispatchTable::Cell cell = lookup(i, j);
+    switch (cell.kind) {
       case DispatchTable::CellKind::kNull:
-        touched_[i] += d;
-        touched_[j] += d;
+        touch(i, d);
+        touch(j, d);
         return;
       case DispatchTable::CellKind::kDeterministic: {
-        const auto& e = dispatch_.only(cell);
-        touched_[e.out_receiver] += d;
-        touched_[e.out_sender] += d;
+        const auto& e = *cell.begin;
+        touch(e.out_receiver, d);
+        touch(e.out_sender, d);
         return;
       }
       case DispatchTable::CellKind::kRandomized: {
         std::uint64_t rem = d;
         double rest = 1.0;
-        for (const auto* e = dispatch_.begin(cell);
-             e != dispatch_.end(cell) && rem > 0; ++e) {
-          const double p = std::min(1.0, std::max(0.0, e->rate / rest));
+        for (const auto* e = cell.begin; e != cell.end && rem > 0; ++e) {
+          // A full-mass cell has no null residue: its last entry absorbs the
+          // floating-point sliver the subtraction chain leaves in `rest`,
+          // mirroring DispatchTable::pick's clamp on the single-draw path.
+          const bool clamp_last = cell.clamp && e + 1 == cell.end;
+          const double p =
+              clamp_last ? 1.0 : std::min(1.0, std::max(0.0, e->rate / rest));
           const std::uint64_t k = binomial(rng_, rem, p);
-          touched_[e->out_receiver] += k;
-          touched_[e->out_sender] += k;
+          touch(e->out_receiver, k);
+          touch(e->out_sender, k);
           rem -= k;
           rest -= e->rate;
         }
-        touched_[i] += rem;  // residual mass: null transitions
-        touched_[j] += rem;
+        touch(i, rem);  // residual mass: null transitions
+        touch(j, rem);
         return;
       }
     }
   }
 
+  /// Dispatch lookup with the JIT fallback (see CountSimulation::lookup);
+  /// state growth is synced before the cell is applied, so `touch` on a
+  /// freshly interned output id always has room.
+  DispatchTable::Cell lookup(std::uint32_t receiver, std::uint32_t sender) {
+    DispatchTable::Cell cell = dispatch_->find(receiver, sender);
+    if (jit_ != nullptr && !cell.present) [[unlikely]] {
+      jit_->compile_pair(receiver, sender);
+      sync_states();
+      cell = dispatch_->find(receiver, sender);
+    }
+    return cell;
+  }
+
+  void touch(std::uint32_t state, std::uint64_t d) {
+    if (d == 0) return;
+    if (touched_[state] == 0) touched_ids_.push_back(state);
+    touched_[state] += d;
+  }
+
   void merge_touched() {
-    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += touched_[i];
+    for (const std::uint32_t i : touched_ids_) {
+      const std::uint64_t v = touched_[i];
+      touched_[i] = 0;
+      if (v != 0) {
+        counts_[i] += v;
+        if (!in_occupied_[i]) {
+          in_occupied_[i] = 1;
+          occupied_.push_back(i);
+        }
+      }
+    }
+    touched_ids_.clear();
   }
 
   // ------------------------------------------------------- collisions ----
@@ -355,35 +472,53 @@ class BatchedCountSimulation {
     const std::uint64_t x = rng_.below(2 * untouched_total + touched_total - 1);
     std::uint32_t r_state, s_state;
     if (x < untouched_total) {  // receiver touched, sender untouched
-      r_state = draw_one(touched_, t_pool);
-      s_state = draw_one(counts_, u_pool);
+      r_state = draw_one_touched(t_pool);
+      s_state = draw_one_untouched(u_pool);
     } else if (x < 2 * untouched_total) {  // receiver untouched, sender touched
-      r_state = draw_one(counts_, u_pool);
-      s_state = draw_one(touched_, t_pool);
+      r_state = draw_one_untouched(u_pool);
+      s_state = draw_one_touched(t_pool);
     } else {  // both touched (two distinct touched agents)
-      r_state = draw_one(touched_, t_pool);
-      s_state = draw_one(touched_, t_pool);
+      r_state = draw_one_touched(t_pool);
+      s_state = draw_one_touched(t_pool);
     }
     const auto [out_r, out_s] = resolve_transition(r_state, s_state);
-    ++touched_[out_r];
-    ++touched_[out_s];
+    touch(out_r, 1);
+    touch(out_s, 1);
     ++interactions_;
     merge_touched();
   }
 
-  /// Remove and return one uniform agent from the multiset `pool` of total
-  /// size `pool_total` (linear scan: S is small).
-  std::uint32_t draw_one(std::vector<std::uint64_t>& pool, std::uint64_t& pool_total) {
+  /// Remove and return one uniform agent from the touched multiset (walking
+  /// the touched-id list, not the full state range).
+  std::uint32_t draw_one_touched(std::uint64_t& pool_total) {
     std::uint64_t slot = rng_.below(pool_total);
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      if (slot < pool[i]) {
-        --pool[i];
+    for (const std::uint32_t i : touched_ids_) {
+      const std::uint64_t c = touched_[i];
+      if (slot < c) {
+        --touched_[i];
         --pool_total;
-        return static_cast<std::uint32_t>(i);
+        return i;
       }
-      slot -= pool[i];
+      slot -= c;
     }
-    POPS_REQUIRE(false, "corrupt multiset in collision draw");
+    POPS_REQUIRE(false, "corrupt touched multiset in collision draw");
+    return 0;  // unreachable
+  }
+
+  /// Remove and return one uniform untouched agent (walking the occupied
+  /// list; classes emptied by the batch draw weigh zero and are skipped).
+  std::uint32_t draw_one_untouched(std::uint64_t& pool_total) {
+    std::uint64_t slot = rng_.below(pool_total);
+    for (const std::uint32_t i : occupied_) {
+      const std::uint64_t c = counts_[i];
+      if (slot < c) {
+        --counts_[i];
+        --pool_total;
+        return i;
+      }
+      slot -= c;
+    }
+    POPS_REQUIRE(false, "corrupt configuration in collision draw");
     return 0;  // unreachable
   }
 
@@ -391,16 +526,16 @@ class BatchedCountSimulation {
   /// draw only for randomized cells.
   std::pair<std::uint32_t, std::uint32_t> resolve_transition(std::uint32_t r,
                                                              std::uint32_t s) {
-    const std::size_t cell = dispatch_.cell(r, s);
-    switch (dispatch_.kind(cell)) {
+    const DispatchTable::Cell cell = lookup(r, s);
+    switch (cell.kind) {
       case DispatchTable::CellKind::kNull:
         return {r, s};
       case DispatchTable::CellKind::kDeterministic: {
-        const auto& e = dispatch_.only(cell);
+        const auto& e = *cell.begin;
         return {e.out_receiver, e.out_sender};
       }
       case DispatchTable::CellKind::kRandomized: {
-        const auto* e = dispatch_.pick(cell, rng_.uniform_double());
+        const auto* e = DispatchTable::pick(cell, rng_.uniform_double());
         if (e != nullptr) return {e->out_receiver, e->out_sender};
         return {r, s};  // residual: null transition
       }
@@ -408,18 +543,53 @@ class BatchedCountSimulation {
     return {r, s};
   }
 
-  FiniteSpec spec_;
+  // ------------------------------------------------------ state growth ----
+
+  void init_scratch(std::uint32_t s) {
+    counts_.assign(s, 0);
+    touched_.assign(s, 0);
+    recv_.assign(s, 0);
+    send_.assign(s, 0);
+    joint_.assign(s, 0);
+    cell_accum_.assign(s, 0);
+    in_occupied_.assign(s, 0);
+    occupied_.reserve(s);
+    joint_ids_.reserve(s);
+    touched_ids_.reserve(s);
+    cell_touched_.reserve(s);
+  }
+
+  void sync_states() {
+    const std::uint32_t s = dispatch_->num_states();
+    if (s == counts_.size()) return;
+    counts_.resize(s, 0);
+    touched_.resize(s, 0);
+    recv_.resize(s, 0);
+    send_.resize(s, 0);
+    joint_.resize(s, 0);
+    cell_accum_.resize(s, 0);
+    in_occupied_.resize(s, 0);
+  }
+
+  /// Shuffle-slot ceiling: above this, fall back to the contingency-table
+  /// pairing rather than materializing an O(√n) slot buffer at n = 10¹²⁺.
+  static constexpr std::uint64_t kMaxShuffleSlots = std::uint64_t{1} << 22;
+
+  FiniteSpec spec_storage_;      ///< owned in eager mode; empty in lazy mode
+  const FiniteSpec* spec_;
   Rng rng_;
-  DispatchTable dispatch_;
+  DispatchTable table_storage_;  ///< owned in eager mode; empty in lazy mode
+  const DispatchTable* dispatch_ = nullptr;
+  JitCompiler* jit_ = nullptr;
   std::vector<std::uint64_t> counts_;  ///< configuration vector
   std::uint64_t total_ = 0;
   std::uint64_t interactions_ = 0;
-  // Per-epoch scratch (preallocated; hot path does no allocation).
-  std::vector<std::uint64_t> touched_, recv_, send_;
-  std::vector<std::uint32_t> occupied_send_;
-  WeightedSampler send_sampler_;
-  std::vector<std::uint64_t> cell_accum_;
-  std::vector<std::uint32_t> cell_touched_;
+  // Per-epoch scratch, sparse in the occupied classes (hot path allocates
+  // nothing and never walks the full state range).
+  std::vector<std::uint64_t> touched_, recv_, send_, joint_, cell_accum_;
+  std::vector<std::uint8_t> in_occupied_;
+  std::vector<std::uint32_t> occupied_, joint_ids_, touched_ids_, cell_touched_;
+  std::vector<std::uint32_t> sender_slots_;
 };
 
 }  // namespace pops

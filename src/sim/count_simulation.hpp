@@ -6,8 +6,14 @@
 // sender is drawn by rejection: uniform agent-slots are redrawn until one
 // differs from the receiver's slot, which is exactly uniform over the other
 // n−1 agents and never mutates the Fenwick tree.  The fired transition comes
-// from a CSR dispatch table (sim/dispatch.hpp); deterministic cells skip the
-// rate draw entirely.
+// from the sparse dispatch table (sim/dispatch.hpp); deterministic cells skip
+// the rate draw entirely.
+//
+// Two construction modes share every hot path:
+//   * eager — a complete `FiniteSpec` compiled to a `DispatchTable` up front;
+//   * lazy  — a `JitCompiler` (compile/lazy.hpp) that compiles each
+//     (receiver, sender) pair on first contact; the simulator grows its
+//     Fenwick sampler whenever the JIT interns new states.
 //
 // For protocols with S = O(1) states this is dramatically faster than
 // per-agent simulation (no Θ(n) agent array to touch) and is exact: the
@@ -17,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/dispatch.hpp"
@@ -29,27 +36,48 @@ namespace pops {
 
 class CountSimulation {
  public:
-  CountSimulation(FiniteSpec spec, std::uint64_t seed)
-      : spec_(std::move(spec)), rng_(seed), sampler_(spec_.num_states()) {
-    spec_.validate();
-    dispatch_ = DispatchTable(spec_);
+  CountSimulation(FiniteSpec spec, std::uint64_t seed,
+                  DispatchTable::RowLayout layout = DispatchTable::RowLayout::kAuto)
+      : spec_storage_(std::move(spec)),
+        spec_(&spec_storage_),
+        rng_(seed),
+        sampler_(spec_storage_.num_states()) {
+    spec_storage_.validate();
+    table_storage_ = DispatchTable(spec_storage_, layout);
+    dispatch_ = &table_storage_;
   }
+
+  /// Lazy/JIT mode: pairs compile on first contact; `jit` must outlive the
+  /// simulator (it owns the growing table and the interned state names).
+  CountSimulation(JitCompiler& jit, std::uint64_t seed)
+      : spec_(&jit.spec()),
+        rng_(seed),
+        sampler_(jit.table().num_states()),
+        dispatch_(&jit.table()),
+        jit_(&jit) {}
+
+  // spec_/dispatch_ point into own storage in eager mode; copies would dangle.
+  CountSimulation(const CountSimulation&) = delete;
+  CountSimulation& operator=(const CountSimulation&) = delete;
 
   /// Set the initial count of a state (before stepping).
   void set_count(const std::string& state, std::uint64_t count) {
-    sampler_.set_count(spec_.id(state), count);
+    set_count(spec_->id(state), count);
   }
   void set_count(std::uint32_t state, std::uint64_t count) {
+    sync_states();
     sampler_.set_count(state, count);
   }
 
   std::uint64_t count(const std::string& state) const {
-    return spec_.has_state(state) ? sampler_.count(spec_.id(state)) : 0;
+    return spec_->has_state(state) ? count(spec_->id(state)) : 0;
   }
-  std::uint64_t count(std::uint32_t state) const { return sampler_.count(state); }
+  std::uint64_t count(std::uint32_t state) const {
+    return state < sampler_.size() ? sampler_.count(state) : 0;
+  }
   std::uint64_t population_size() const { return sampler_.total(); }
   std::uint64_t interactions() const { return interactions_; }
-  const FiniteSpec& spec() const { return spec_; }
+  const FiniteSpec& spec() const { return *spec_; }
 
   double time() const {
     return static_cast<double>(interactions_) / static_cast<double>(population_size());
@@ -57,6 +85,7 @@ class CountSimulation {
 
   /// One interaction.
   void step() {
+    sync_states();  // another simulator on the same JIT source may have grown it
     const std::uint64_t n = population_size();
     POPS_REQUIRE(n >= 2, "population too small to interact");
     // Receiver: a uniform agent-slot.  Sender: rejection over agent-slots —
@@ -94,16 +123,34 @@ class CountSimulation {
   std::vector<std::uint64_t> counts() const { return sampler_.counts(); }
 
  private:
+  /// Dispatch lookup with the JIT fallback: an unregistered pair under a lazy
+  /// source is compiled in place (possibly interning new states) and looked
+  /// up again.  Compilation consumes no simulation randomness, so lazy runs
+  /// are deterministic under a fixed seed.
+  DispatchTable::Cell lookup(std::uint32_t receiver, std::uint32_t sender) {
+    DispatchTable::Cell cell = dispatch_->find(receiver, sender);
+    if (jit_ != nullptr && !cell.present) [[unlikely]] {
+      jit_->compile_pair(receiver, sender);
+      sync_states();
+      cell = dispatch_->find(receiver, sender);
+    }
+    return cell;
+  }
+
+  void sync_states() {
+    if (dispatch_->num_states() > sampler_.size()) sampler_.grow(dispatch_->num_states());
+  }
+
   void apply(std::uint32_t receiver, std::uint32_t sender) {
-    const std::size_t cell = dispatch_.cell(receiver, sender);
-    switch (dispatch_.kind(cell)) {
+    const DispatchTable::Cell cell = lookup(receiver, sender);
+    switch (cell.kind) {
       case DispatchTable::CellKind::kNull:
         return;
       case DispatchTable::CellKind::kDeterministic:
-        fire(dispatch_.only(cell), receiver, sender);
+        fire(*cell.begin, receiver, sender);
         return;
       case DispatchTable::CellKind::kRandomized: {
-        const auto* e = dispatch_.pick(cell, rng_.uniform_double());
+        const auto* e = DispatchTable::pick(cell, rng_.uniform_double());
         if (e != nullptr) fire(*e, receiver, sender);
         return;  // nullptr: residual probability mass, null transition
       }
@@ -122,10 +169,13 @@ class CountSimulation {
     }
   }
 
-  FiniteSpec spec_;
+  FiniteSpec spec_storage_;       ///< owned in eager mode; empty in lazy mode
+  const FiniteSpec* spec_;
   Rng rng_;
   WeightedSampler sampler_;
-  DispatchTable dispatch_;
+  DispatchTable table_storage_;   ///< owned in eager mode; empty in lazy mode
+  const DispatchTable* dispatch_ = nullptr;
+  JitCompiler* jit_ = nullptr;
   std::uint64_t interactions_ = 0;
 };
 

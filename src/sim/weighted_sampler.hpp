@@ -20,12 +20,30 @@ class WeightedSampler {
 
   void resize(std::size_t size) {
     size_ = size;
-    tree_.assign(size + 1, 0);
+    capacity_ = size;
+    tree_.assign(capacity_ + 1, 0);
     counts_.assign(size, 0);
     total_ = 0;
-    // log2_ = largest power of two <= size (for the descend loop).
+    // log2_ = largest power of two <= capacity (for the descend loop).
     log2_ = 1;
-    while ((log2_ << 1) <= size_) log2_ <<= 1;
+    while ((log2_ << 1) <= capacity_) log2_ <<= 1;
+  }
+
+  /// Extend to at least `size` items, preserving counts — the JIT compilation
+  /// path (compile/lazy.hpp) interns new states mid-run.  Capacity doubles so
+  /// the O(capacity) tree rebuild amortizes to O(S log S) over any growth
+  /// sequence; slots beyond size() carry zero weight and are never sampled.
+  void grow(std::size_t size) {
+    if (size <= size_) return;
+    counts_.resize(size, 0);
+    size_ = size;
+    if (size <= capacity_) return;
+    while (capacity_ < size) capacity_ = capacity_ == 0 ? 1 : capacity_ * 2;
+    tree_.assign(capacity_ + 1, 0);
+    log2_ = 1;
+    while ((log2_ << 1) <= capacity_) log2_ <<= 1;
+    const std::vector<std::uint64_t> saved = std::move(counts_);
+    rebuild(saved);  // reassigns counts_ and recomputes total_ from scratch
   }
 
   std::size_t size() const { return size_; }
@@ -40,7 +58,7 @@ class WeightedSampler {
                  "count would go negative");
     counts_[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(counts_[i]) + delta);
     total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) + delta);
-    for (std::size_t j = i + 1; j <= size_; j += j & (~j + 1)) {
+    for (std::size_t j = i + 1; j <= capacity_; j += j & (~j + 1)) {
       tree_[j] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tree_[j]) + delta);
     }
   }
@@ -57,10 +75,10 @@ class WeightedSampler {
     total_ = 0;
     for (const auto c : counts_) total_ += c;
     // Classic linear Fenwick construction: push each node's sum to its parent.
-    for (std::size_t i = 1; i <= size_; ++i) tree_[i] = counts_[i - 1];
-    for (std::size_t i = 1; i <= size_; ++i) {
+    for (std::size_t i = 1; i <= capacity_; ++i) tree_[i] = i <= size_ ? counts_[i - 1] : 0;
+    for (std::size_t i = 1; i <= capacity_; ++i) {
       const std::size_t parent = i + (i & (~i + 1));
-      if (parent <= size_) tree_[parent] += tree_[i];
+      if (parent <= capacity_) tree_[parent] += tree_[i];
     }
   }
 
@@ -71,7 +89,7 @@ class WeightedSampler {
     std::size_t pos = 0;
     for (std::size_t step = log2_; step > 0; step >>= 1) {
       const std::size_t next = pos + step;
-      if (next <= size_ && tree_[next] <= target) {
+      if (next <= capacity_ && tree_[next] <= target) {
         pos = next;
         target -= tree_[next];
       }
@@ -87,6 +105,7 @@ class WeightedSampler {
 
  private:
   std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
   std::size_t log2_ = 1;
   std::uint64_t total_ = 0;
   std::vector<std::uint64_t> tree_;    // 1-based Fenwick array

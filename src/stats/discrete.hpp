@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -38,6 +39,25 @@ inline double stirling_tail(double k) {
   if (k < 10.0) return kTable[static_cast<int>(k)];
   const double kp1sq = (k + 1.0) * (k + 1.0);
   return (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / 1260.0 / kp1sq) / kp1sq) / (k + 1.0);
+}
+
+/// log(k!) for integer-valued k >= 0: table lookup below 128, Stirling with
+/// the tabulated tail correction above.  HRUA* spends ~9 log-factorials per
+/// variate and the batched simulator draws one hypergeometric per occupied
+/// class per epoch — libm's lgamma at every call was the single largest
+/// slice of many-state epoch cost (NumPy's generator makes the same
+/// table-plus-asymptotic tradeoff; accuracy is the usual ~1ulp·|result|).
+inline double log_factorial(double k) {
+  static const std::array<double, 128> table = [] {
+    std::array<double, 128> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = std::lgamma(static_cast<double>(i) + 1.0);
+    return t;
+  }();
+  if (k < 128.0) return table[static_cast<int>(k)];
+  // Stirling at x = k + 1 (the base point stirling_tail's series uses):
+  // log k! = lgamma(k+1) = (k + 1/2) log(k+1) − (k+1) + log(2π)/2 + tail.
+  return (k + 0.5) * std::log(k + 1.0) - (k + 1.0) + 0.9189385332046727 +
+         stirling_tail(k);
 }
 
 /// Binomial(n, p) via pmf inversion from k = 0.  Requires small mean
@@ -109,6 +129,36 @@ inline std::uint64_t hypergeometric_hyp(Rng& rng, std::uint64_t good,
   return z;
 }
 
+/// Hypergeometric(N = good + bad, K = good, n = draws) via pmf inversion over
+/// the good-item count, O(good) — requires draws <= bad so the support starts
+/// at 0.  Batched population simulation draws one hypergeometric per occupied
+/// state class per epoch, and for compiled specs most classes hold a handful
+/// of agents out of n = 10⁸⁺: there `good` is tiny while both HYP (O(sample))
+/// and HRUA* (~a dozen lgammas) pay costs unrelated to it.  Walking the pmf
+/// from P(X = 0) = Π_{i<good} (N − draws − i)/(N − i) costs ~good multiplies.
+inline std::uint64_t hypergeometric_small_good(Rng& rng, std::uint64_t good,
+                                               std::uint64_t bad, std::uint64_t sample) {
+  const double n = static_cast<double>(good + bad);
+  const double draws = static_cast<double>(sample);
+  double f = 1.0;
+  for (std::uint64_t i = 0; i < good; ++i) {
+    f *= (n - draws - static_cast<double>(i)) / (n - static_cast<double>(i));
+  }
+  double u = rng.uniform_double();
+  const std::uint64_t kmax = std::min(good, sample);
+  std::uint64_t k = 0;
+  while (u > f && k < kmax) {
+    u -= f;
+    // pmf ratio: P(k+1)/P(k) = (good-k)(draws-k) / ((k+1)(bad-draws+k+1)).
+    const double dk = static_cast<double>(k);
+    f *= (static_cast<double>(good) - dk) * (draws - dk) /
+         ((dk + 1.0) * (static_cast<double>(bad) - draws + dk + 1.0));
+    ++k;
+    if (f <= 0.0) break;  // floating-point tail residue
+  }
+  return k;
+}
+
 /// Hypergeometric via HRUA* ratio-of-uniforms rejection (Stadlober, as in
 /// NumPy); O(1) expected time, used for larger samples.
 inline std::uint64_t hypergeometric_hrua(Rng& rng, std::uint64_t good,
@@ -131,10 +181,10 @@ inline std::uint64_t hypergeometric_hrua(Rng& rng, std::uint64_t good,
   const auto d9 = static_cast<std::uint64_t>(
       std::floor(static_cast<double>(m + 1) * static_cast<double>(mingoodbad + 1) /
                  static_cast<double>(popsize + 2)));
-  const double d10 = std::lgamma(static_cast<double>(d9) + 1.0) +
-                     std::lgamma(static_cast<double>(mingoodbad - d9) + 1.0) +
-                     std::lgamma(static_cast<double>(m - d9) + 1.0) +
-                     std::lgamma(static_cast<double>(maxgoodbad - m + d9) + 1.0);
+  const double d10 = log_factorial(static_cast<double>(d9)) +
+                     log_factorial(static_cast<double>(mingoodbad - d9)) +
+                     log_factorial(static_cast<double>(m - d9)) +
+                     log_factorial(static_cast<double>(maxgoodbad - m + d9));
   const double d11 = std::min(static_cast<double>(std::min(m, mingoodbad)) + 1.0,
                               std::floor(d6 + 16.0 * d7));
   double z;
@@ -144,10 +194,10 @@ inline std::uint64_t hypergeometric_hrua(Rng& rng, std::uint64_t good,
     const double w = d6 + d8 * (y - 0.5) / x;
     if (w < 0.0 || w >= d11) continue;
     z = std::floor(w);
-    const double t = d10 - (std::lgamma(z + 1.0) +
-                            std::lgamma(static_cast<double>(mingoodbad) - z + 1.0) +
-                            std::lgamma(static_cast<double>(m) - z + 1.0) +
-                            std::lgamma(static_cast<double>(maxgoodbad - m) + z + 1.0));
+    const double t = d10 - (log_factorial(z) +
+                            log_factorial(static_cast<double>(mingoodbad) - z) +
+                            log_factorial(static_cast<double>(m) - z) +
+                            log_factorial(static_cast<double>(maxgoodbad - m) + z));
     if (x * (4.0 - x) - 3.0 <= t) break;  // squeeze acceptance
     if (x * (x - t) >= 1.0) continue;     // squeeze rejection
     if (2.0 * std::log(x) <= t) break;    // full acceptance test
@@ -188,6 +238,16 @@ inline std::uint64_t hypergeometric(Rng& rng, std::uint64_t total,
     return good - hypergeometric(rng, total, good, total - draws);
   }
   const std::uint64_t bad = total - good;
+  // Few-good (or, by class symmetry X_good = draws − X_bad, few-bad) classes
+  // take the O(min(good, bad)) pmf walk; its draws <= other-class guard keeps
+  // the support anchored at 0.
+  constexpr std::uint64_t kSmallClass = 32;
+  if (good <= kSmallClass && draws <= bad) {
+    return detail::hypergeometric_small_good(rng, good, bad, draws);
+  }
+  if (bad <= kSmallClass && draws <= good) {
+    return draws - detail::hypergeometric_small_good(rng, bad, good, draws);
+  }
   if (draws > 10) return detail::hypergeometric_hrua(rng, good, bad, draws);
   return detail::hypergeometric_hyp(rng, good, bad, draws);
 }

@@ -156,11 +156,47 @@ TEST(Binomial, Edges) {
 
 TEST(Hypergeometric, SmallSampleHypMatchesPmf) {
   Rng rng(2001);
-  const std::uint64_t total = 60, good = 25, draws = 8;  // draws <= 10 -> HYP
+  // draws <= 10 with both classes > 32 -> the HYP sequential path (smaller
+  // classes would take the small-class pmf walk instead).
+  const std::uint64_t total = 100, good = 40, draws = 8;
   expect_matches_pmf(
       [&] { return hypergeometric(rng, total, good, draws); },
       [&](std::uint64_t k) { return log_hypergeometric_pmf(total, good, draws, k); },
       0, draws, 0, draws, 40000);
+}
+
+TEST(Hypergeometric, SmallGoodInversionMatchesPmf) {
+  Rng rng(2006);
+  // good <= 32 with a huge sample from a huge population: the O(good) pmf
+  // walk (the batched simulator's per-class regime for compiled specs).
+  const std::uint64_t total = 100000, good = 7, draws = 30000;
+  expect_matches_pmf(
+      [&] { return hypergeometric(rng, total, good, draws); },
+      [&](std::uint64_t k) { return log_hypergeometric_pmf(total, good, draws, k); },
+      0, good, 0, good, 40000);
+}
+
+TEST(Hypergeometric, SmallBadReflectionMatchesPmf) {
+  Rng rng(2007);
+  // bad <= 32 exercises the class-complement reflection onto the pmf walk;
+  // support is pinned near `draws` ([draws - bad, draws]).
+  const std::uint64_t total = 100000, good = 99993, draws = 30000;
+  const std::uint64_t klo = draws - (total - good);
+  expect_matches_pmf(
+      [&] { return hypergeometric(rng, total, good, draws); },
+      [&](std::uint64_t k) { return log_hypergeometric_pmf(total, good, draws, k); },
+      klo, draws, klo, draws, 40000);
+}
+
+TEST(Hypergeometric, LogFactorialMatchesLgamma) {
+  // The table/Stirling log-factorial backing HRUA must track lgamma to the
+  // same accuracy class the sampler tolerates (~1ulp·|result|).
+  for (const double k : {0.0, 1.0, 5.0, 100.0, 127.0, 128.0, 129.0, 1000.0,
+                         123456.0, 1e9, 3.7e12}) {
+    const double exact = std::lgamma(k + 1.0);
+    const double fast = detail::log_factorial(k);
+    EXPECT_NEAR(fast, exact, 1e-9 * std::max(1.0, std::abs(exact))) << "k=" << k;
+  }
 }
 
 TEST(Hypergeometric, LargeSampleHruaMatchesPmf) {
