@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <string>
+#include <thread>
 
 #include "proto/epidemic.hpp"
 #include "sim/agent_simulation.hpp"
@@ -86,6 +88,10 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kSequentialWork = 4000000ULL;
 
   std::printf("{\n  \"bench\": \"bench_batched\",\n  \"protocol\": \"epidemic\",\n");
+  // Header records the machine's thread budget so perf diffs across PRs
+  // compare like with like (scripts/bench_regen.sh commits this output).
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::max(1u, std::thread::hardware_concurrency()));
   std::printf("  \"results\": [\n");
   for (std::uint64_t n = 10000; n <= max_n; n *= 10) {
     if (n <= kAgentSimMaxN) {

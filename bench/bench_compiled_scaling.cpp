@@ -27,11 +27,16 @@
 // presets; =2 (or --max-n=1000000000000) sweeps to 10^12.  --quick shrinks
 // every block to a seconds-scale smoke run (tier-2 ctest; catches perf-path
 // breakage without a full Release bench).
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
 
 #include "compile/compiler.hpp"
 #include "compile/headline.hpp"
@@ -96,13 +101,16 @@ void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t m
             const char* obs_name) {
   begin_config(name);
 
+  // Eager compile on all cores (typed-state interner + parallel closure —
+  // bit-identical to the single-threaded sweep at any thread count).
+  const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
   auto t0 = std::chrono::steady_clock::now();
-  const auto compiled = pops::ProtocolCompiler<P>(proto, cap).compile();
+  const auto compiled = pops::ProtocolCompiler<P>(proto, cap).compile(threads);
   const double compile_secs = seconds_since(t0);
   std::printf("     \"compile\": {\"states\": %u, \"transitions\": %zu, \"pairs\": %" PRIu64
-              ", \"paths\": %" PRIu64 ", \"seconds\": %.3f},\n",
+              ", \"paths\": %" PRIu64 ", \"seconds\": %.3f, \"threads\": %u},\n",
               compiled.num_states(), compiled.num_transitions(), compiled.pairs_explored,
-              compiled.paths_explored, compile_secs);
+              compiled.paths_explored, compile_secs, threads);
 
   // Equivalence at an n both simulators handle, via the same harness the
   // certification suite uses (harness/equivalence.hpp).
@@ -167,15 +175,42 @@ void report_lazy(const char* name, const P& proto, std::uint32_t cap, std::uint6
   }
 
   {
+    // Lazy equivalence trials ride run_trials_parallel on the shared JIT
+    // table.  Three batched passes: an untimed warm-up (compiles every pair
+    // the trial set touches, so the timed passes compare scheduling rather
+    // than JIT cost), a timed serial pass and a timed parallel pass — the
+    // sharded JIT's thread-count invariance means the two passes must agree
+    // value for value, which is asserted here, and the ratio is the
+    // measured trial-fan-out speedup on this machine.
     const std::uint64_t n = 1000, trials = eq_trials();
-    const auto chi = pops::compiled_agent_equivalence(proto, lazy, n, eq_interactions,
-                                                      trials, eq_seed, observable);
+    const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+    const auto agent_hist = pops::agent_observable_histogram(proto, n, eq_interactions,
+                                                             trials, eq_seed, observable);
+    (void)pops::lazy_trial_values(lazy, n, eq_interactions, trials, eq_seed, observable,
+                                  threads);  // warm-up
+    auto t0 = std::chrono::steady_clock::now();
+    const auto serial = pops::lazy_trial_values(lazy, n, eq_interactions, trials, eq_seed,
+                                                observable, 1);
+    const double serial_secs = seconds_since(t0);
+    t0 = std::chrono::steady_clock::now();
+    const auto parallel = pops::lazy_trial_values(lazy, n, eq_interactions, trials,
+                                                  eq_seed, observable, threads);
+    const double parallel_secs = seconds_since(t0);
+    if (serial != parallel) {
+      std::fprintf(stderr, "FATAL: lazy trial values not thread-count invariant\n");
+      std::exit(1);
+    }
+    std::map<std::uint64_t, std::uint64_t> count_hist;
+    for (const auto v : parallel) ++count_hist[v];
+    const auto chi = pops::two_sample_chi_square(agent_hist, count_hist);
     std::printf("     \"equivalence\": {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
                 ", \"trials\": %" PRIu64
                 ", \"observable\": \"%s\", \"chi2\": %.3f, \"df\": %" PRIu64
-                ", \"accept\": %s},\n",
+                ", \"accept\": %s, \"threads\": %u, \"batched_seconds_serial\": %.4f, "
+                "\"batched_seconds_parallel\": %.4f, \"parallel_speedup\": %.2f},\n",
                 n, eq_interactions, trials, obs_name, chi.statistic, chi.df,
-                chi.accept() ? "true" : "false");
+                chi.accept() ? "true" : "false", threads, serial_secs, parallel_secs,
+                parallel_secs > 0.0 ? serial_secs / parallel_secs : 1.0);
   }
 
   print_scaling(
@@ -189,9 +224,12 @@ void report_lazy(const char* name, const P& proto, std::uint32_t cap, std::uint6
       },
       obs_name);
   // The JIT accounting comes last so it reflects everything the config ran.
+  // null_pairs is the compact-null share of the table (a row-slot code, no
+  // Cell record — the dominant kind once the protocol saturates).
   std::printf(",\n     \"lazy\": {\"states_interned\": %u, \"pairs_compiled\": %zu, "
-              "\"paths\": %" PRIu64 "}}",
-              lazy.num_states(), lazy.pairs_compiled(), lazy.paths_explored());
+              "\"null_pairs\": %zu, \"paths\": %" PRIu64 "}}",
+              lazy.num_states(), lazy.pairs_compiled(), lazy.null_pairs_compiled(),
+              lazy.paths_explored());
 }
 
 }  // namespace
@@ -208,7 +246,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("{\n  \"bench\": \"bench_compiled_scaling\",\n  \"configs\": [\n");
+  std::printf("{\n  \"bench\": \"bench_compiled_scaling\",\n"
+              "  \"hardware_concurrency\": %u,\n  \"configs\": [\n",
+              std::max(1u, std::thread::hardware_concurrency()));
 
   {
     const auto proto = pops::log_size_tiny();

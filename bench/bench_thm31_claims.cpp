@@ -68,26 +68,34 @@ void run_compiled(std::uint64_t trials, const std::vector<std::uint64_t>& sizes)
         pops::LogSizeEstimation(pops::LogSizeEstimation::Params{
             .time_multiplier = 8, .epoch_multiplier = 1, .logsize_offset = 2}),
         cap);
-    // One JIT table serves every trial of this n: the first trial compiles
-    // the working set, the rest run warm.
+    // One JIT table serves every trial of this n; since the sharded JIT the
+    // trials fan out over run_trials_parallel (per-trial simulators sharing
+    // the warm table), with per-seed results identical at any thread count.
     pops::LazyCompiledSpec<pops::Bounded<pops::LogSizeEstimation>> lazy(proto, cap);
-    pops::BatchedCountSimulation sim(lazy, 0);
+    struct TrialResult {
+      double converged_at = -1.0;
+      std::int32_t est = 0;
+    };
+    const auto results = pops::run_trials_parallel(
+        trials, 0x731, [&](std::uint64_t, std::uint64_t t) {
+          pops::BatchedCountSimulation sim(lazy, pops::trial_seed(0x731, n * 100 + t));
+          pops::Rng seeder(pops::trial_seed(0x732, n * 100 + t));
+          lazy.seed_initial(sim, n, seeder);
+          TrialResult r;
+          r.converged_at = sim.run_until(
+              [&](const pops::BatchedCountSimulation& s) {
+                return converged_counts(lazy, s.counts(), r.est);
+              },
+              50.0, 20000.0);
+          return r;
+        });
     pops::Summary err, time;
     std::uint64_t ok = 0, done = 0;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      sim.reset(pops::trial_seed(0x731, n * 100 + t));
-      pops::Rng seeder(pops::trial_seed(0x732, n * 100 + t));
-      lazy.seed_initial(sim, n, seeder);
-      std::int32_t est = 0;
-      const double converged_at = sim.run_until(
-          [&](const pops::BatchedCountSimulation& s) {
-            return converged_counts(lazy, s.counts(), est);
-          },
-          50.0, 20000.0);
-      if (converged_at < 0.0) continue;
-      const double e = std::abs(static_cast<double>(est) - logn);
+    for (const auto& r : results) {
+      if (r.converged_at < 0.0) continue;
+      const double e = std::abs(static_cast<double>(r.est) - logn);
       err.add(e);
-      time.add(converged_at);
+      time.add(r.converged_at);
       ok += e <= 5.7 ? 1 : 0;
       ++done;
     }

@@ -4,6 +4,12 @@
 # the files in the repo root.  Diff interactions_per_sec across PRs to track
 # the trajectory (ROADMAP "Perf trajectory").
 #
+# Every BENCH_*.json header records the machine's thread budget so perf
+# diffs across PRs compare like with like: bench_batched and
+# bench_compiled_scaling emit "hardware_concurrency" (and the compiled
+# bench's compile/equivalence records carry the "threads" they ran with);
+# bench_micro's google-benchmark context already includes num_cpus.
+#
 # Usage: scripts/bench_regen.sh [--max-n=N] [--quick]
 #   --max-n caps the batched/compiled sweeps (default 10^9 batched,
 #   bench-scale default for compiled); POPS_BENCH_SCALE=0/1/2 scales the

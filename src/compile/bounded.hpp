@@ -44,6 +44,7 @@
 #include <string>
 #include <utility>
 
+#include "compile/intern.hpp"
 #include "sim/require.hpp"
 #include "sim/rng.hpp"
 
@@ -112,6 +113,14 @@ class Bounded {
   void saturate(State& s, std::uint32_t) const { base_.saturate(s, cap_); }
 
   std::string state_label(const State& s) const { return base_.state_label(s); }
+
+  /// Typed interning key (compile/intern.hpp), forwarded when the base
+  /// protocol packs one; otherwise the compiler falls back to the label.
+  void state_key(const State& s, StateKeyBuf& key) const
+    requires KeyedProtocol<P>
+  {
+    base_.state_key(s, key);
+  }
 
   std::uint32_t geometric_cap() const { return cap_; }
   const P& base() const { return base_; }

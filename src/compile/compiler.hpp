@@ -23,36 +23,47 @@
 //      which `closure_matches` cross-checks.
 //
 // Encoding / interning scheme: each distinct agent state is identified by
-// its *canonical label* — the string produced by the protocol's
-// `state_label`, required to be injective on saturated states.  `Bounded`'s
-// saturate hook runs before any state reaches the compiler, so labels never
-// see a dead field's stale value; distinct labels really are distinct
-// behaviors.  Labels are interned to dense ids in discovery order, and the
-// id is simultaneously (a) the index into `CompileResult::states` (the
-// typed representative, for evaluating observables on count vectors) and
-// (b) the `FiniteSpec` state id (names registered in the same order), so no
-// translation table is needed between the typed and the compiled world.
+// its *canonical key* — the field tuple packed by the protocol's `state_key`
+// hook (compile/intern.hpp), falling back to the bytes of `state_label`,
+// either of which must be injective on saturated states.  `Bounded`'s
+// saturate hook runs before any state reaches the compiler, so keys never
+// see a dead field's stale value; distinct keys really are distinct
+// behaviors.  Keys intern to dense ids in discovery order via the
+// lock-free-lookup `StateInterner`; the id is simultaneously (a) the index
+// into `CompileResult::states` (the typed representative, for evaluating
+// observables on count vectors) and (b) the `FiniteSpec` state id (names
+// registered in the same order — the string label is built once per unique
+// state, for the debug/golden surface only), so no translation table is
+// needed between the typed and the compiled world.
 //
 // The interning + branch-enumeration machinery lives in `CompilerCore`,
 // shared by two closure strategies:
 //   * eager — `ProtocolCompiler` BFS-closes the whole reachable pair space
-//     up front (this file); states² pair enumeration caps interactive
-//     compiles at geometric caps c ≈ 4;
+//     up front (this file), fanning each frontier round's (receiver, sender)
+//     pair chunks out over a worker pool.  Workers intern privately and a
+//     deterministic pair-order merge assigns global ids, so the result is
+//     bit-identical to the single-threaded sweep at any thread count;
 //   * lazy  — `LazyCompiledSpec` (compile/lazy.hpp) interns states on first
 //     contact *during simulation* and compiles only the (receiver, sender)
 //     pairs a run actually touches, lifting the states² barrier and
 //     admitting caps c ≈ log₂ n.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 #include <set>
 #include <string>
-#include <unordered_map>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "compile/bounded.hpp"
 #include "compile/choice.hpp"
+#include "compile/intern.hpp"
 #include "sim/finite_spec.hpp"
 #include "sim/require.hpp"
 #include "stats/discrete.hpp"
@@ -97,23 +108,31 @@ void seed_initial_distribution(Sim& sim, std::uint64_t n, Rng& rng,
 }
 
 /// Typed observable on a count vector: total count over states satisfying
-/// `pred` (a predicate on the typed state).
-template <typename State, typename Pred>
-std::uint64_t count_matching_states(const std::vector<State>& states,
+/// `pred` (a predicate on the typed state).  `States` is any id-indexed
+/// container of typed representatives (std::vector or StateInterner).
+template <typename States, typename Pred>
+std::uint64_t count_matching_states(const States& states,
                                     const std::vector<std::uint64_t>& counts,
                                     Pred&& pred) {
   POPS_REQUIRE(counts.size() <= states.size(), "count vector/spec size mismatch");
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] != 0 && pred(states[i])) total += counts[i];
+    if (counts[i] != 0 && pred(states[static_cast<std::uint32_t>(i)])) total += counts[i];
   }
   return total;
 }
 
-/// The machinery both compilation modes share: canonical-label interning to
+/// The machinery both compilation modes share: canonical-key interning to
 /// dense ids (mirrored into a FiniteSpec name registry), ChoiceRng branch
 /// enumeration of `initial`, and per-pair branch enumeration of `interact`
 /// with per-output rate merging.
+///
+/// Concurrency: `intern`/`explore` are safe to call from multiple threads —
+/// the interner takes a mutex only on insertion (lookups are lock-free), and
+/// exploration writes into caller-owned scratch.  The FiniteSpec name
+/// registry grows under the same insert mutex; *reading* names
+/// (`spec().name/id/has_state`) requires quiescence — no concurrent
+/// compilation — which every harness satisfies by querying after runs.
 template <CompilableProtocol P>
 class CompilerCore {
  public:
@@ -124,32 +143,40 @@ class CompilerCore {
   };
 
   CompilerCore(P protocol, std::uint32_t geometric_cap, CompileOptions opts)
-      : proto_(std::move(protocol)), cap_(geometric_cap), opts_(opts) {}
+      : proto_(std::move(protocol)),
+        cap_(geometric_cap),
+        opts_(opts),
+        interner_(opts.max_states) {}
 
   const P& protocol() const { return proto_; }
   std::uint32_t geometric_cap() const { return cap_; }
   const CompileOptions& options() const { return opts_; }
   const FiniteSpec& spec() const { return spec_; }
   FiniteSpec& mutable_spec() { return spec_; }
-  const std::vector<typename P::State>& states() const { return states_; }
-  std::uint32_t num_states() const { return static_cast<std::uint32_t>(states_.size()); }
-  std::uint64_t pairs_explored() const { return pairs_explored_; }
-  std::uint64_t paths_explored() const { return paths_explored_; }
+  const StateInterner<typename P::State>& states() const { return interner_; }
+  std::vector<typename P::State> snapshot_states() const { return interner_.snapshot(); }
+  std::uint32_t num_states() const { return interner_.size(); }
+  std::uint64_t pairs_explored() const {
+    return pairs_explored_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t paths_explored() const {
+    return paths_explored_.load(std::memory_order_relaxed);
+  }
 
-  /// Intern a (saturated) state, returning its dense id.
+  /// Intern a (saturated) state, returning its dense id.  Thread-safe; the
+  /// slow path registers the state's label with the spec under the insert
+  /// mutex, keeping name order == id order.
   std::uint32_t intern(const typename P::State& s) {
-    std::string label = proto_.state_label(s);
-    const auto [it, inserted] =
-        ids_.try_emplace(std::move(label), static_cast<std::uint32_t>(states_.size()));
-    if (inserted) {
-      POPS_REQUIRE(states_.size() < opts_.max_states,
-                   "state-space explosion: raise CompileOptions.max_states or "
-                   "lower the field caps");
-      states_.push_back(s);
-      const std::uint32_t spec_id = spec_.state(it->first);
-      POPS_REQUIRE(spec_id == it->second, "spec/compiler id order diverged");
-    }
-    return it->second;
+    StateKeyBuf key;
+    build_state_key(proto_, s, key);
+    const std::uint64_t hash = key.hash();
+    const std::uint32_t id = interner_.find(key, hash);
+    if (id != StateInterner<typename P::State>::kNotFound) return id;
+    return interner_.intern(s, key, hash, [this](std::uint32_t new_id,
+                                                 const typename P::State& st) {
+      const std::uint32_t spec_id = spec_.state(proto_.state_label(st));
+      POPS_REQUIRE(spec_id == new_id, "spec/compiler id order diverged");
+    });
   }
 
   /// Enumerate the initial states and accumulate their exact distribution
@@ -158,51 +185,60 @@ class CompilerCore {
     enumerate_choices(cap_, [&](ChoiceRng& rng) {
       typename P::State s = proto_.initial(rng);
       const std::uint32_t id = intern(s);
-      if (distribution.size() < states_.size()) {
-        distribution.resize(states_.size(), 0.0);
+      if (distribution.size() < interner_.size()) {
+        distribution.resize(interner_.size(), 0.0);
       }
       distribution[id] += rng.path_probability();
     });
   }
 
-  /// Enumerate all interaction branches of ordered input pair (r, s) and
-  /// merge per-output probabilities (identity outputs stay residual null
-  /// mass).  Output states intern as they appear; the returned reference is
-  /// valid until the next explore() call.
-  const std::vector<CellEntry>& explore(std::uint32_t r, std::uint32_t s) {
-    cell_.clear();
+  /// Enumerate all interaction branches of ordered input pair (r, s) into
+  /// `cell`, merging per-output probabilities (identity outputs stay
+  /// residual null mass).  Output states resolve to ids through `resolve`,
+  /// which must map equal states to equal ids and input states to r/s —
+  /// `intern` for the interning modes, a global-probe-else-local-intern
+  /// resolver for the parallel closure's workers.
+  template <typename Resolve>
+  void explore_into(std::uint32_t r, std::uint32_t s, std::vector<CellEntry>& cell,
+                    Resolve&& resolve) {
+    cell.clear();
+    std::uint64_t paths = 0;
     enumerate_choices(cap_, [&](ChoiceRng& rng) {
-      typename P::State a = states_[r];  // fresh copies per path; intern()
-      typename P::State b = states_[s];  // below may grow states_
+      typename P::State a = interner_[r];  // fresh copies per path
+      typename P::State b = interner_[s];
       proto_.interact(a, b, rng);
-      ++paths_explored_;
-      const std::uint32_t oa = intern(a);
-      const std::uint32_t ob = intern(b);
+      ++paths;
+      const std::uint32_t oa = resolve(a);
+      const std::uint32_t ob = resolve(b);
       if (oa == r && ob == s) return;  // null path
       const double p = rng.path_probability();
-      for (auto& c : cell_) {
+      for (auto& c : cell) {
         if (c.out_receiver == oa && c.out_sender == ob) {
           c.rate += p;
           return;
         }
       }
-      cell_.push_back(CellEntry{oa, ob, p});
+      cell.push_back(CellEntry{oa, ob, p});
     });
-    ++pairs_explored_;
-    for (auto& c : cell_) c.rate = c.rate > 1.0 ? 1.0 : c.rate;
-    return cell_;
+    pairs_explored_.fetch_add(1, std::memory_order_relaxed);
+    paths_explored_.fetch_add(paths, std::memory_order_relaxed);
+    for (auto& c : cell) c.rate = c.rate > 1.0 ? 1.0 : c.rate;
+  }
+
+  /// Interning exploration: outputs intern as they appear (eager sequential
+  /// sweep, merge phase, and the JIT's compile_pair).
+  void explore(std::uint32_t r, std::uint32_t s, std::vector<CellEntry>& cell) {
+    explore_into(r, s, cell, [this](const typename P::State& st) { return intern(st); });
   }
 
  private:
   P proto_;
   std::uint32_t cap_;
   CompileOptions opts_;
-  std::unordered_map<std::string, std::uint32_t> ids_;
-  std::vector<typename P::State> states_;
+  StateInterner<typename P::State> interner_;
   FiniteSpec spec_;  ///< names interned in id order; transitions only eager
-  std::vector<CellEntry> cell_;
-  std::uint64_t pairs_explored_ = 0;
-  std::uint64_t paths_explored_ = 0;
+  std::atomic<std::uint64_t> pairs_explored_{0};
+  std::atomic<std::uint64_t> paths_explored_{0};
 };
 
 template <CompilableProtocol P>
@@ -254,6 +290,66 @@ bool closure_matches(const CompileResult<P>& result) {
   return closure.closure().size() == result.num_states();
 }
 
+/// Worker-private interner for the parallel eager closure: states new to the
+/// global interner get *provisional* ids (tag bit set) that the merge phase
+/// rewrites to global ids in deterministic pair order.
+template <typename State>
+class ProvisionalInterner {
+ public:
+  std::uint32_t intern(const State& s, const StateKeyBuf& key, std::uint64_t hash) {
+    if (slots_.empty()) slots_.assign(64, 0);
+    for (std::uint64_t idx = hash & (slots_.size() - 1);;
+         idx = (idx + 1) & (slots_.size() - 1)) {
+      const std::uint32_t v = slots_[idx];
+      if (v == 0) {
+        const std::uint32_t id = static_cast<std::uint32_t>(states_.size());
+        states_.push_back(s);
+        hashes_.push_back(hash);
+        spans_.push_back({static_cast<std::uint32_t>(words_.size()), key.size()});
+        words_.insert(words_.end(), key.data(), key.data() + key.size());
+        slots_[idx] = id + 1;
+        if ((states_.size() + 1) * 4 >= slots_.size() * 3) rehash();
+        return id;
+      }
+      if (hashes_[v - 1] == hash && equals(v - 1, key)) return v - 1;
+    }
+  }
+
+  const State& state(std::uint32_t id) const { return states_[id]; }
+  std::size_t size() const { return states_.size(); }
+
+ private:
+  struct Span {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+
+  bool equals(std::uint32_t id, const StateKeyBuf& key) const {
+    const Span& sp = spans_[id];
+    if (sp.len != key.size()) return false;
+    for (std::uint32_t i = 0; i < sp.len; ++i) {
+      if (words_[sp.off + i] != key.data()[i]) return false;
+    }
+    return true;
+  }
+
+  void rehash() {
+    std::vector<std::uint32_t> next(slots_.size() * 2, 0);
+    for (std::uint32_t id = 0; id < states_.size(); ++id) {
+      std::uint64_t idx = hashes_[id] & (next.size() - 1);
+      while (next[idx] != 0) idx = (idx + 1) & (next.size() - 1);
+      next[idx] = id + 1;
+    }
+    slots_ = std::move(next);
+  }
+
+  std::vector<State> states_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<Span> spans_;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> slots_;
+};
+
 template <CompilableProtocol P>
 class ProtocolCompiler {
  public:
@@ -262,32 +358,83 @@ class ProtocolCompiler {
   ProtocolCompiler(P protocol, std::uint32_t geometric_cap, CompileOptions opts = {})
       : core_(std::move(protocol), geometric_cap, opts) {}
 
-  CompileResult<P> compile() {
+  /// Close the reachable pair space and emit the spec.  `threads` = 0 uses
+  /// hardware concurrency; the result is bit-identical (state ids, name
+  /// order, transition order, rates) at every thread count, because workers
+  /// only ever *read* the global interner and the merge phase interns their
+  /// private discoveries in the sequential sweep's pair order.
+  CompileResult<P> compile(unsigned threads = 0) {
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
     CompileResult<P> out;
     core_.enumerate_initial(out.initial_distribution);
-    // Reachable-pair closure.  Processing state u pairs it (both orders)
-    // with every state discovered no later than u; states discovered during
-    // u's row get larger ids and handle the (u, ·) pairs on their own turn —
-    // every ordered pair of reachable states is explored exactly once.
-    for (std::uint32_t u = 0; u < core_.num_states(); ++u) {
-      for (std::uint32_t v = 0; v <= u; ++v) {
-        emit(u, v);
-        if (v != u) emit(v, u);
+    // Reachable-pair closure, in frontier rounds.  Round k extends the sweep
+    // to the states known at its start: processing state u pairs it (both
+    // orders) with every state of id <= u, so all ordered pairs over known
+    // states are explored exactly once and states discovered mid-round are
+    // picked up by the next round.  The pair sequence — row u covers the
+    // pairs whose larger id is u — is identical to the classic interleaved
+    // loop `for u < num_states(): for v <= u`, which is what makes the
+    // parallel rounds' deterministic merge reproduce its exact id order.
+    std::vector<typename CompilerCore<P>::CellEntry> scratch;
+    std::uint32_t closed = 0;
+    while (closed < core_.num_states()) {
+      const std::uint32_t known = core_.num_states();
+      const std::uint64_t round_pairs = static_cast<std::uint64_t>(known) * known -
+                                        static_cast<std::uint64_t>(closed) * closed;
+      if (threads == 1 || round_pairs < kParallelRoundCutoff) {
+        for (std::uint32_t u = closed; u < known; ++u) {
+          for (std::uint32_t v = 0; v <= u; ++v) {
+            emit(u, v, scratch);
+            if (v != u) emit(v, u, scratch);
+          }
+        }
+      } else {
+        close_round_parallel(closed, known, threads);
       }
+      closed = known;
     }
     out.initial_distribution.resize(core_.num_states(), 0.0);
     out.pairs_explored = core_.pairs_explored();
     out.paths_explored = core_.paths_explored();
-    out.states = core_.states();
+    out.states = core_.snapshot_states();
     out.spec = std::move(core_.mutable_spec());
     out.spec.validate();
     return out;
   }
 
  private:
-  void emit(std::uint32_t r, std::uint32_t s) {
-    const auto& cell = core_.explore(r, s);
-    for (const auto& c : cell) {
+  using CellEntry = typename CompilerCore<P>::CellEntry;
+
+  static constexpr std::uint64_t kParallelRoundCutoff = 2048;  ///< pairs
+  static constexpr std::uint64_t kPairChunk = 64;              ///< work unit
+  /// Per-batch pair cap (bounds the merge index at ~48 MB however big the
+  /// closure).  Tests override it (POPS_COMPILE_BATCH_PAIRS) to force batch
+  /// splits on small presets.
+  static constexpr std::uint64_t kMaxBatchPairs =
+#ifdef POPS_COMPILE_BATCH_PAIRS
+      POPS_COMPILE_BATCH_PAIRS;
+#else
+      std::uint64_t{1} << 22;
+#endif
+  static constexpr std::uint32_t kProvisional = 0x80000000u;   ///< worker-local id tag
+
+  /// Linearized pair sequence: positions [u², (u+1)²) hold row u — (u,0),
+  /// (0,u), (u,1), (1,u), …, (u,u) — matching the sequential sweep's order.
+  static std::pair<std::uint32_t, std::uint32_t> decode_pair(std::uint64_t p) {
+    std::uint64_t u = static_cast<std::uint64_t>(
+        std::sqrt(static_cast<double>(p)));
+    while (u * u > p) --u;
+    while ((u + 1) * (u + 1) <= p) ++u;
+    const std::uint64_t k = p - u * u;
+    const auto ui = static_cast<std::uint32_t>(u);
+    if (k == 2 * u) return {ui, ui};
+    const auto vi = static_cast<std::uint32_t>(k / 2);
+    return (k % 2 == 0) ? std::pair{ui, vi} : std::pair{vi, ui};
+  }
+
+  void emit(std::uint32_t r, std::uint32_t s, std::vector<CellEntry>& scratch) {
+    core_.explore(r, s, scratch);
+    for (const auto& c : scratch) {
       core_.mutable_spec().add(r, s, c.out_receiver, c.out_sender, c.rate);
     }
     POPS_REQUIRE(core_.spec().transitions().size() <= core_.options().max_transitions,
@@ -295,16 +442,132 @@ class ProtocolCompiler {
                  "lower the field caps");
   }
 
+  /// One parallel frontier round over pair positions [closed², known²),
+  /// processed in batches of at most kMaxBatchPairs so the per-pair index
+  /// and worker arenas stay bounded (the sequential sweep's memory is
+  /// O(transitions); a dense per-pair vector over a whole ~S² round would
+  /// not be).  Batching preserves bit-identity: batches run in pair order,
+  /// and a state merged by an earlier batch simply resolves globally
+  /// instead of provisionally — same id either way.
+  void close_round_parallel(std::uint32_t closed, std::uint32_t known, unsigned threads) {
+    POPS_REQUIRE(core_.options().max_states <= kProvisional,
+                 "max_states collides with the provisional-id tag bit");
+    const std::uint64_t begin = static_cast<std::uint64_t>(closed) * closed;
+    const std::uint64_t end = static_cast<std::uint64_t>(known) * known;
+    for (std::uint64_t batch = begin; batch < end; batch += kMaxBatchPairs) {
+      close_pair_batch(batch, std::min(end, batch + kMaxBatchPairs), threads);
+    }
+  }
+
+  /// Workers claim pair chunks of [begin, end) from an atomic cursor (work
+  /// stealing), explore against the frozen global interner, stash unknown
+  /// output states in a private ProvisionalInterner, and append their cells
+  /// to private arenas.  The merge then walks the pairs in sequence order,
+  /// interning provisional states on first appearance — exactly where the
+  /// sequential sweep would have interned them — and emits the transitions.
+  void close_pair_batch(std::uint64_t begin, std::uint64_t end, unsigned threads) {
+
+    struct PairCell {
+      std::uint32_t worker = 0;
+      std::uint32_t offset = 0;
+      std::uint32_t len = 0;
+    };
+    struct WorkerOut {
+      std::vector<CellEntry> entries;  ///< concatenated per-pair cells
+      ProvisionalInterner<typename P::State> local;
+    };
+
+    std::vector<PairCell> cells(end - begin);
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, (end - begin + kPairChunk - 1) / kPairChunk));
+    std::vector<WorkerOut> outs(workers);
+    std::atomic<std::uint64_t> cursor{begin};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker_body = [&](unsigned w) {
+      WorkerOut& wo = outs[w];
+      std::vector<CellEntry> cell;
+      auto resolve = [&](const typename P::State& st) -> std::uint32_t {
+        StateKeyBuf key;
+        build_state_key(core_.protocol(), st, key);
+        const std::uint64_t hash = key.hash();
+        const std::uint32_t g = core_.states().find(key, hash);
+        if (g != StateInterner<typename P::State>::kNotFound) return g;
+        POPS_REQUIRE(core_.num_states() + wo.local.size() < core_.options().max_states,
+                     "state-space explosion: raise CompileOptions.max_states or "
+                     "lower the field caps");
+        return kProvisional | wo.local.intern(st, key, hash);
+      };
+      try {
+        for (;;) {
+          const std::uint64_t p0 = cursor.fetch_add(kPairChunk, std::memory_order_relaxed);
+          if (p0 >= end) return;
+          const std::uint64_t p1 = std::min(end, p0 + kPairChunk);
+          for (std::uint64_t p = p0; p < p1; ++p) {
+            const auto [r, s] = decode_pair(p);
+            core_.explore_into(r, s, cell, resolve);
+            cells[p - begin] = PairCell{w, static_cast<std::uint32_t>(wo.entries.size()),
+                                        static_cast<std::uint32_t>(cell.size())};
+            wo.entries.insert(wo.entries.end(), cell.begin(), cell.end());
+          }
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        cursor.store(end, std::memory_order_relaxed);  // drain remaining work
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 0; w + 1 < workers; ++w) pool.emplace_back(worker_body, w);
+    worker_body(workers - 1);
+    for (auto& th : pool) th.join();
+    if (error) std::rethrow_exception(error);
+
+    // Deterministic merge: pair order fixes the global intern order.
+    constexpr std::uint32_t kUnresolved = 0xFFFFFFFFu;
+    std::vector<std::vector<std::uint32_t>> resolved(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      resolved[w].assign(outs[w].local.size(), kUnresolved);
+    }
+    auto resolve_global = [&](unsigned w, std::uint32_t id) -> std::uint32_t {
+      if ((id & kProvisional) == 0) return id;
+      std::uint32_t& memo = resolved[w][id & ~kProvisional];
+      if (memo == kUnresolved) memo = core_.intern(outs[w].local.state(id & ~kProvisional));
+      return memo;
+    };
+    for (std::uint64_t p = begin; p < end; ++p) {
+      const auto [r, s] = decode_pair(p);
+      const PairCell& pc = cells[p - begin];
+      for (std::uint32_t i = 0; i < pc.len; ++i) {
+        const CellEntry& e = outs[pc.worker].entries[pc.offset + i];
+        // Two statements, not two arguments: the receiver must intern before
+        // the sender to match the sequential sweep's id order (argument
+        // evaluation order is unspecified).
+        const std::uint32_t oa = resolve_global(pc.worker, e.out_receiver);
+        const std::uint32_t ob = resolve_global(pc.worker, e.out_sender);
+        core_.mutable_spec().add(r, s, oa, ob, e.rate);
+      }
+      POPS_REQUIRE(core_.spec().transitions().size() <= core_.options().max_transitions,
+                   "transition explosion: raise CompileOptions.max_transitions or "
+                   "lower the field caps");
+    }
+  }
+
   CompilerCore<P> core_;
 };
 
 /// One-call path for the common case: wrap a BoundableProtocol at the given
 /// geometric cap and compile it, with enumeration and simulation caps tied.
+/// `threads` = 0 compiles on all cores (same result at any thread count).
 template <BoundableProtocol P>
 CompileResult<Bounded<P>> compile_bounded(P base, std::uint32_t geometric_cap,
-                                          CompileOptions opts = {}) {
+                                          CompileOptions opts = {}, unsigned threads = 0) {
   Bounded<P> bounded(std::move(base), geometric_cap);
-  return ProtocolCompiler<Bounded<P>>(std::move(bounded), geometric_cap, opts).compile();
+  return ProtocolCompiler<Bounded<P>>(std::move(bounded), geometric_cap, opts)
+      .compile(threads);
 }
 
 }  // namespace pops

@@ -8,17 +8,18 @@
 // states that actually co-occur in its configuration: for the headline
 // protocols at c = 8 that is orders of magnitude below the closure's pair
 // space.  `LazyCompiledSpec` exploits this by implementing the simulators'
-// `JitCompiler` hook (sim/dispatch.hpp):
+// `JitCompiler` hook (sim/shared_dispatch.hpp):
 //
 //   * construction enumerates only the initial states (exact distribution,
-//     as in the eager path) and registers them with an empty DispatchTable;
+//     as in the eager path) and registers them with an empty table;
 //   * when a simulator's dispatch lookup misses, it calls `compile_pair`,
 //     which replays `interact` over every randomized branch (ChoiceRng),
 //     interns any new output states, and registers the resulting cell —
-//     explicitly-null cells included, so each pair compiles exactly once;
-//   * the table extends incrementally (sparse rows) and the simulator grows
-//     its count vectors to match, so the states² compile barrier and the S²
-//     table memory floor both disappear.
+//     explicitly-null cells included (stored compactly as a row-slot code,
+//     no Cell record), so each pair compiles exactly once;
+//   * the table extends incrementally and the simulator grows its count
+//     vectors to match, so the states² compile barrier and the S² table
+//     memory floor both disappear.
 //
 // Pair compilation consumes no simulation randomness (branch enumeration is
 // deterministic), so a lazy run under a fixed seed is reproducible, and the
@@ -30,18 +31,35 @@
 // `reset()`/trials on the same LazyCompiledSpec, so multi-trial experiments
 // pay the JIT cost once — warm trials run at full batched speed.
 //
-// Not thread-safe: one LazyCompiledSpec must not back simulators stepping
-// concurrently (compile_pair mutates the shared table).
+// Concurrency contract (thread-safe since the sharded JIT):
+//
+//   * any number of simulators may step one shared LazyCompiledSpec from
+//     different threads (harness/trials.hpp fans equivalence/bench trials
+//     out this way).  `compile_pair` shards its critical section by
+//     receiver id — per-shard mutexes cover branch exploration + cell
+//     publication, interning serializes only on insertion, and dispatch
+//     lookups stay lock-free against the atomically published row views;
+//   * per-seed trial results are identical at any thread count: state *ids*
+//     depend on which thread interns first, but a trial's trajectory is
+//     equivariant under id relabeling (the simulators iterate insertion-
+//     ordered id lists, never id-sorted ranges), so observables evaluated
+//     on typed states — and the interned state/pair *sets* as label sets —
+//     are scheduling-independent (tests/test_jit_concurrency.cpp);
+//   * name-registry queries (`spec().name/id/has_state`) require
+//     quiescence: call them between runs, not concurrently with stepping
+//     simulators that may still compile pairs.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "compile/compiler.hpp"
-#include "sim/dispatch.hpp"
 #include "sim/require.hpp"
+#include "sim/shared_dispatch.hpp"
 
 namespace pops {
 
@@ -49,10 +67,9 @@ template <CompilableProtocol P>
 class LazyCompiledSpec final : public JitCompiler {
  public:
   explicit LazyCompiledSpec(P protocol, std::uint32_t geometric_cap,
-                            CompileOptions opts = {},
-                            DispatchTable::RowLayout layout = DispatchTable::RowLayout::kAuto)
+                            CompileOptions opts = {})
       : core_(std::move(protocol), geometric_cap, opts),
-        table_(0, layout) {
+        table_(opts.max_states, opts.max_pairs) {
     core_.enumerate_initial(initial_distribution_);
     initial_distribution_.resize(core_.num_states(), 0.0);
     table_.grow_states(core_.num_states());
@@ -61,20 +78,24 @@ class LazyCompiledSpec final : public JitCompiler {
   // ------------------------------------------------ JitCompiler interface --
 
   void compile_pair(std::uint32_t receiver, std::uint32_t sender) override {
+    Shard& shard = shards_[ConcurrentDispatchTable::shard_of(receiver)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (table_.find(receiver, sender).present) return;  // lost a compile race
     POPS_REQUIRE(table_.num_cells() < core_.options().max_pairs,
                  "pair explosion: raise CompileOptions.max_pairs or lower the "
                  "field caps");
-    const auto& cell = core_.explore(receiver, sender);
-    entries_.clear();
-    for (const auto& c : cell) {
-      entries_.push_back(DispatchTable::Entry{c.out_receiver, c.out_sender, c.rate});
+    core_.explore(receiver, sender, shard.cell);
+    shard.entries.clear();
+    for (const auto& c : shard.cell) {
+      shard.entries.push_back(
+          ConcurrentDispatchTable::Entry{c.out_receiver, c.out_sender, c.rate});
     }
     table_.grow_states(core_.num_states());  // outputs may be new states
-    table_.set_cell(receiver, sender, entries_.data(),
-                    static_cast<std::uint32_t>(entries_.size()));
+    table_.set_cell(receiver, sender, shard.entries.data(),
+                    static_cast<std::uint32_t>(shard.entries.size()));
   }
 
-  const DispatchTable& table() const override { return table_; }
+  const ConcurrentDispatchTable& table() const override { return table_; }
   const FiniteSpec& spec() const override { return core_.spec(); }
 
   // ------------------------------------------------------------ compiled --
@@ -83,8 +104,9 @@ class LazyCompiledSpec final : public JitCompiler {
   std::uint32_t geometric_cap() const { return core_.geometric_cap(); }
   std::uint32_t num_states() const { return core_.num_states(); }
   std::size_t pairs_compiled() const { return table_.num_cells(); }
+  std::size_t null_pairs_compiled() const { return table_.num_null_cells(); }
   std::uint64_t paths_explored() const { return core_.paths_explored(); }
-  const std::vector<typename P::State>& states() const { return core_.states(); }
+  const StateInterner<typename P::State>& states() const { return core_.states(); }
   const std::vector<double>& initial_distribution() const { return initial_distribution_; }
 
   /// Ids carrying positive initial mass.
@@ -111,10 +133,17 @@ class LazyCompiledSpec final : public JitCompiler {
   }
 
  private:
+  /// Per-shard critical section: mutex + compile scratch it protects.
+  struct Shard {
+    std::mutex mutex;
+    std::vector<typename CompilerCore<P>::CellEntry> cell;
+    std::vector<ConcurrentDispatchTable::Entry> entries;
+  };
+
   CompilerCore<P> core_;
-  DispatchTable table_;
+  ConcurrentDispatchTable table_;
   std::vector<double> initial_distribution_;
-  std::vector<DispatchTable::Entry> entries_;  ///< compile_pair scratch
+  std::array<Shard, ConcurrentDispatchTable::kNumShards> shards_;
 };
 
 /// One-call path mirroring `compile_bounded`: wrap a BoundableProtocol at

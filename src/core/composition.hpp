@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <string>
 
+#include "compile/intern.hpp"
 #include "proto/leaderless_clock.hpp"
 #include "sim/agent_simulation.hpp"
 #include "sim/require.hpp"
@@ -122,6 +123,17 @@ class Composed {
     std::snprintf(buf, sizeof(buf), "e%u|g%u.%llu|", st.s, st.clock.stage,
                   static_cast<unsigned long long>(st.clock.counter));
     return buf + down_.state_label(st.down);
+  }
+
+  /// Typed interning key (compile/intern.hpp): estimate + clock words, then
+  /// the downstream packing — same injectivity contract as `state_label`.
+  void state_key(const State& st, StateKeyBuf& key) const
+    requires KeyedProtocol<D>
+  {
+    key.push(static_cast<std::uint64_t>(st.s) |
+             (static_cast<std::uint64_t>(st.clock.stage) << 32));
+    key.push(st.clock.counter);
+    down_.state_key(st.down, key);
   }
 
   /// Bounded-field regime hook (compile/bounded.hpp).  With geometric draws

@@ -32,6 +32,7 @@
 #include <limits>
 #include <string>
 
+#include "compile/intern.hpp"
 #include "proto/partition.hpp"
 #include "sim/agent_simulation.hpp"
 #include "sim/metrics.hpp"
@@ -130,6 +131,23 @@ class LogSizeEstimation {
                   s.protocol_done ? 'D' : '-', s.updated_sum ? 'U' : '-',
                   s.has_output ? 'O' : '-', s.output);
     return buf;
+  }
+
+  /// Typed interning key (compile/intern.hpp): every field `state_label`
+  /// prints, packed into four words with full 32-bit lanes (no range
+  /// assumptions beyond the fields' own types, so the packing is injective
+  /// for any Params).
+  void state_key(const State& s, StateKeyBuf& key) const {
+    key.push(static_cast<std::uint64_t>(s.role) |
+             (static_cast<std::uint64_t>(s.protocol_done) << 8) |
+             (static_cast<std::uint64_t>(s.updated_sum) << 9) |
+             (static_cast<std::uint64_t>(s.has_output) << 10) |
+             (static_cast<std::uint64_t>(s.log_size2) << 32));
+    key.push(static_cast<std::uint64_t>(s.time) |
+             (static_cast<std::uint64_t>(s.epoch) << 32));
+    key.push(static_cast<std::uint64_t>(s.gr) |
+             (static_cast<std::uint64_t>(s.sum) << 32));
+    key.push(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.output)));
   }
 
   /// Bounded-field regime hook (compile/bounded.hpp): with every geometric

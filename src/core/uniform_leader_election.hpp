@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 
+#include "compile/intern.hpp"
 #include "core/composition.hpp"
 #include "sim/int128.hpp"
 #include "sim/agent_simulation.hpp"
@@ -89,6 +90,16 @@ struct LeaderElectionStage {
   /// it — so it is not printed; `saturate` canonicalizes it to 0.
   std::string state_label(const State& s) const {
     return (s.contender ? "C" + u128_hex(s.own) : "F") + "/" + u128_hex(s.best);
+  }
+
+  /// Typed interning key (compile/intern.hpp): contender flag plus both
+  /// 128-bit bitstrings, two words each.
+  void state_key(const State& s, StateKeyBuf& key) const {
+    key.push(s.contender ? 1 : 0);
+    key.push(static_cast<std::uint64_t>(s.own));
+    key.push(static_cast<std::uint64_t>(s.own >> 64));
+    key.push(static_cast<std::uint64_t>(s.best));
+    key.push(static_cast<std::uint64_t>(s.best >> 64));
   }
 
   /// Bounded-field regime hook.  `own` and `best` carry at most

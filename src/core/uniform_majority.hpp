@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <string>
 
+#include "compile/intern.hpp"
 #include "core/composition.hpp"
 #include "sim/agent_simulation.hpp"
 
@@ -84,6 +85,15 @@ struct MajorityStage {
                   s.sign > 0 ? 'p' : (s.sign < 0 ? 'n' : 'b'), s.level,
                   s.output > 0 ? '+' : '-');
     return buf;
+  }
+
+  /// Typed interning key (compile/intern.hpp): one word covers every field
+  /// the label prints (int8 fields widened via uint8 so signs survive).
+  void state_key(const State& s, StateKeyBuf& key) const {
+    key.push(static_cast<std::uint64_t>(static_cast<std::uint8_t>(s.input)) |
+             (static_cast<std::uint64_t>(static_cast<std::uint8_t>(s.sign)) << 8) |
+             (static_cast<std::uint64_t>(static_cast<std::uint8_t>(s.output)) << 16) |
+             (static_cast<std::uint64_t>(s.level) << 32));
   }
 
   /// Bounded-field regime hook: the doubling level trails the stage clock

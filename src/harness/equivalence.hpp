@@ -6,12 +6,17 @@
 // satisfies `observable` — over `trials` runs of `AgentSimulation<P>` and
 // over `trials` runs of the compiled spec on `BatchedCountSimulation`, then
 // two-sample chi-squares the histograms.  Agent trials fan out over threads
-// (deterministic per-trial seed streams); batched trials reuse one simulator
-// via reset(), since the CSR dispatch build dwarfs a small-n trial.
+// (deterministic per-trial seed streams).  Eager batched trials reuse one
+// simulator via reset(), since the CSR dispatch build dwarfs a small-n
+// trial; lazy batched trials fan out over threads too, sharing one JIT
+// table — the sharded `compile_pair` makes that safe, and per-seed results
+// are thread-count invariant (see compile/lazy.hpp's concurrency contract),
+// so the histograms are identical at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "compile/compiler.hpp"
 #include "compile/lazy.hpp"
@@ -60,26 +65,48 @@ TwoSampleChiSquare compiled_agent_equivalence(const P& proto,
   return two_sample_chi_square(agent_hist, count_hist);
 }
 
+/// Batched-side observable values for a lazy spec, one per trial, fanned out
+/// over `threads` worker threads via run_trials_parallel (0 = hardware
+/// concurrency).  Every trial constructs its own simulator against the
+/// shared JIT table; the per-trial seeds match the historical sequential
+/// loop (sim seed master^0xBA7C4ED, seeder master^0x5EED, per trial index),
+/// so the values are bit-identical to the pre-sharding harness and to any
+/// other thread count.
+template <typename P, typename Obs>
+std::vector<std::uint64_t> lazy_trial_values(LazyCompiledSpec<P>& lazy, std::uint64_t n,
+                                             std::uint64_t interactions,
+                                             std::uint64_t trials,
+                                             std::uint64_t master_seed, Obs&& observable,
+                                             unsigned threads = 0) {
+  return run_trials_parallel(
+      trials, master_seed ^ 0xBA7C4EDULL,
+      [&](std::uint64_t seed, std::uint64_t i) {
+        BatchedCountSimulation sim(lazy, seed);
+        Rng seeder(trial_seed(master_seed ^ 0x5EEDULL, i));
+        lazy.seed_initial(sim, n, seeder);
+        sim.steps(interactions);
+        return lazy.count_matching(sim.counts(), observable);
+      },
+      threads);
+}
+
 /// Lazy-mode overload: same agent side, batched side JIT-compiles pairs on
-/// first contact.  Trials share `lazy`'s table — the first trial warms it,
-/// the rest run compiled — and run sequentially (the JIT is not
-/// thread-safe), which small-n certification trials can afford.
+/// first contact.  Trials share `lazy`'s table — whichever trials touch a
+/// pair first warm it for the rest — and fan out over `threads` via
+/// run_trials_parallel (the sharded JIT is thread-safe; results are
+/// thread-count invariant).
 template <typename P, typename Obs>
 TwoSampleChiSquare compiled_agent_equivalence(const P& proto, LazyCompiledSpec<P>& lazy,
                                               std::uint64_t n, std::uint64_t interactions,
                                               std::uint64_t trials,
-                                              std::uint64_t master_seed, Obs&& observable) {
+                                              std::uint64_t master_seed, Obs&& observable,
+                                              unsigned threads = 0) {
   const auto agent_hist =
       agent_observable_histogram(proto, n, interactions, trials, master_seed, observable);
+  const auto values =
+      lazy_trial_values(lazy, n, interactions, trials, master_seed, observable, threads);
   std::map<std::uint64_t, std::uint64_t> count_hist;
-  BatchedCountSimulation sim(lazy, 1);
-  for (std::uint64_t i = 0; i < trials; ++i) {
-    sim.reset(trial_seed(master_seed ^ 0xBA7C4EDULL, i));
-    Rng seeder(trial_seed(master_seed ^ 0x5EEDULL, i));
-    lazy.seed_initial(sim, n, seeder);
-    sim.steps(interactions);
-    ++count_hist[lazy.count_matching(sim.counts(), observable)];
-  }
+  for (const auto v : values) ++count_hist[v];
   return two_sample_chi_square(agent_hist, count_hist);
 }
 

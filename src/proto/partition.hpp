@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "compile/intern.hpp"
 #include "sim/agent_simulation.hpp"
 #include "sim/finite_spec.hpp"
 
@@ -59,6 +60,11 @@ struct PartitionProtocol {
   }
 
   void saturate(State&, std::uint32_t) const {}
+
+  /// Typed interning key (compile/intern.hpp).
+  void state_key(const State& s, StateKeyBuf& key) const {
+    key.push(static_cast<std::uint64_t>(s.role));
+  }
 };
 static_assert(AgentProtocol<PartitionProtocol>);
 

@@ -56,6 +56,7 @@
 #include "sim/finite_spec.hpp"
 #include "sim/require.hpp"
 #include "sim/rng.hpp"
+#include "sim/shared_dispatch.hpp"
 #include "stats/discrete.hpp"
 
 namespace pops {
@@ -73,9 +74,11 @@ class BatchedCountSimulation {
 
   /// Lazy/JIT mode: pairs compile on first contact; `jit` must outlive the
   /// simulator (it owns the growing table and the interned state names).
+  /// Multiple simulators on different threads may share one `jit` source —
+  /// its table is lock-free to read and compile_pair is sharded.
   BatchedCountSimulation(JitCompiler& jit, std::uint64_t seed)
-      : spec_(&jit.spec()), rng_(seed), dispatch_(&jit.table()), jit_(&jit) {
-    init_scratch(dispatch_->num_states());
+      : spec_(&jit.spec()), rng_(seed), jit_table_(&jit.table()), jit_(&jit) {
+    init_scratch(jit_table_->num_states());
   }
 
   // spec_/dispatch_ point into own storage in eager mode; copies would dangle.
@@ -206,15 +209,17 @@ class BatchedCountSimulation {
   /// log P(L > t): probability that t interactions in a row reuse no agent,
   /// i.e. the falling factorial (n)_{2t} / (n(n-1))^t.  For large n this is
   /// evaluated by a truncated log1p series with closed-form power sums (the
-  /// lgamma difference would cancel catastrophically); for small n, by
-  /// lgamma directly.
+  /// log-factorial difference would cancel catastrophically); for small n,
+  /// by `log_factorial` (stats/discrete.hpp) — not libm's lgamma, which
+  /// writes the global `signgam` and so races when trials fan out over
+  /// threads on one shared JIT table.
   double log_survival(std::uint64_t t) const {
     const std::uint64_t n = total_;
     if (2 * t > n) return -std::numeric_limits<double>::infinity();
     const double dn = static_cast<double>(n);
     const double dt = static_cast<double>(t);
     if (n < 1000000) {
-      return std::lgamma(dn + 1.0) - std::lgamma(dn - 2.0 * dt + 1.0) -
+      return detail::log_factorial(dn) - detail::log_factorial(dn - 2.0 * dt) -
              dt * (std::log(dn) + std::log(dn - 1.0));
     }
     // sum_{j=0}^{2t-1} log1p(-j/n) - t*log1p(-1/n), with
@@ -421,21 +426,26 @@ class BatchedCountSimulation {
     }
   }
 
-  /// Dispatch lookup with the JIT fallback (see CountSimulation::lookup);
-  /// state growth is synced before the cell is applied, so `touch` on a
-  /// freshly interned output id always has room.
+  /// Dispatch lookup with the JIT fallback (see CountSimulation::lookup).
+  /// State growth is synced after our own compiles; cells compiled by
+  /// *other* threads sharing the JIT source are caught by `touch`'s guard.
   DispatchTable::Cell lookup(std::uint32_t receiver, std::uint32_t sender) {
-    DispatchTable::Cell cell = dispatch_->find(receiver, sender);
-    if (jit_ != nullptr && !cell.present) [[unlikely]] {
+    if (jit_ == nullptr) return dispatch_->find(receiver, sender);
+    DispatchTable::Cell cell = jit_table_->find(receiver, sender);
+    if (!cell.present) [[unlikely]] {
       jit_->compile_pair(receiver, sender);
       sync_states();
-      cell = dispatch_->find(receiver, sender);
+      cell = jit_table_->find(receiver, sender);
     }
     return cell;
   }
 
   void touch(std::uint32_t state, std::uint64_t d) {
     if (d == 0) return;
+    // Another simulator thread sharing our JIT source may have interned
+    // `state` after our last sync; grow the scratch mid-epoch (exact — the
+    // new classes simply hold zero counts).
+    if (state >= touched_.size()) [[unlikely]] sync_states();
     if (touched_[state] == 0) touched_ids_.push_back(state);
     touched_[state] += d;
   }
@@ -559,8 +569,12 @@ class BatchedCountSimulation {
     cell_touched_.reserve(s);
   }
 
+  std::uint32_t dispatch_num_states() const {
+    return jit_ != nullptr ? jit_table_->num_states() : dispatch_->num_states();
+  }
+
   void sync_states() {
-    const std::uint32_t s = dispatch_->num_states();
+    const std::uint32_t s = dispatch_num_states();
     if (s == counts_.size()) return;
     counts_.resize(s, 0);
     touched_.resize(s, 0);
@@ -580,6 +594,7 @@ class BatchedCountSimulation {
   Rng rng_;
   DispatchTable table_storage_;  ///< owned in eager mode; empty in lazy mode
   const DispatchTable* dispatch_ = nullptr;
+  const ConcurrentDispatchTable* jit_table_ = nullptr;  ///< lazy mode only
   JitCompiler* jit_ = nullptr;
   std::vector<std::uint64_t> counts_;  ///< configuration vector
   std::uint64_t total_ = 0;

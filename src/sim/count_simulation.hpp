@@ -22,6 +22,7 @@
 // sim/batched_count_simulation.hpp.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "sim/finite_spec.hpp"
 #include "sim/require.hpp"
 #include "sim/rng.hpp"
+#include "sim/shared_dispatch.hpp"
 #include "sim/weighted_sampler.hpp"
 
 namespace pops {
@@ -49,11 +51,13 @@ class CountSimulation {
 
   /// Lazy/JIT mode: pairs compile on first contact; `jit` must outlive the
   /// simulator (it owns the growing table and the interned state names).
+  /// Multiple simulators on different threads may share one `jit` source —
+  /// its table is lock-free to read and compile_pair is sharded.
   CountSimulation(JitCompiler& jit, std::uint64_t seed)
       : spec_(&jit.spec()),
         rng_(seed),
         sampler_(jit.table().num_states()),
-        dispatch_(&jit.table()),
+        jit_table_(&jit.table()),
         jit_(&jit) {}
 
   // spec_/dispatch_ point into own storage in eager mode; copies would dangle.
@@ -128,17 +132,22 @@ class CountSimulation {
   /// up again.  Compilation consumes no simulation randomness, so lazy runs
   /// are deterministic under a fixed seed.
   DispatchTable::Cell lookup(std::uint32_t receiver, std::uint32_t sender) {
-    DispatchTable::Cell cell = dispatch_->find(receiver, sender);
-    if (jit_ != nullptr && !cell.present) [[unlikely]] {
+    if (jit_ == nullptr) return dispatch_->find(receiver, sender);
+    DispatchTable::Cell cell = jit_table_->find(receiver, sender);
+    if (!cell.present) [[unlikely]] {
       jit_->compile_pair(receiver, sender);
       sync_states();
-      cell = dispatch_->find(receiver, sender);
+      cell = jit_table_->find(receiver, sender);
     }
     return cell;
   }
 
+  std::uint32_t dispatch_num_states() const {
+    return jit_ != nullptr ? jit_table_->num_states() : dispatch_->num_states();
+  }
+
   void sync_states() {
-    if (dispatch_->num_states() > sampler_.size()) sampler_.grow(dispatch_->num_states());
+    if (dispatch_num_states() > sampler_.size()) sampler_.grow(dispatch_num_states());
   }
 
   void apply(std::uint32_t receiver, std::uint32_t sender) {
@@ -159,6 +168,11 @@ class CountSimulation {
 
   void fire(const DispatchTable::Entry& e, std::uint32_t receiver,
             std::uint32_t sender) {
+    // A cell compiled by *another* simulator thread sharing our JIT source
+    // can reference states interned after our last sync.
+    if (std::max(e.out_receiver, e.out_sender) >= sampler_.size()) [[unlikely]] {
+      sync_states();
+    }
     if (e.out_receiver != receiver) {
       sampler_.add(receiver, -1);
       sampler_.add(e.out_receiver, +1);
@@ -175,6 +189,7 @@ class CountSimulation {
   WeightedSampler sampler_;
   DispatchTable table_storage_;   ///< owned in eager mode; empty in lazy mode
   const DispatchTable* dispatch_ = nullptr;
+  const ConcurrentDispatchTable* jit_table_ = nullptr;  ///< lazy mode only
   JitCompiler* jit_ = nullptr;
   std::uint64_t interactions_ = 0;
 };

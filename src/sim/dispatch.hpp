@@ -26,11 +26,14 @@
 //   * kRandomized    — general case: choose among entries (or the residual
 //     null transition) by cumulative rate.
 //
-// The table also extends *incrementally* (`grow_states` + `set_cell`): the
-// lazy/JIT compilation path (compile/lazy.hpp) registers one cell per
-// (receiver, sender) pair on first contact during simulation.  A registered
-// cell — even an explicitly null one — reports `Cell::present`, which is how
-// the JIT distinguishes "compiled, no transitions" from "never compiled".
+// The table also extends *incrementally* (`grow_states` + `set_cell`), and a
+// registered cell — even an explicitly null one — reports `Cell::present`.
+// The lazy/JIT compilation path no longer uses this table: it registers
+// cells into the thread-safe `ConcurrentDispatchTable`
+// (sim/shared_dispatch.hpp), which shares this table's Entry/Cell types so
+// the simulators' dispatch code is layout-agnostic.  This table stays the
+// eager build: single-threaded construction, then read-only (safe to share
+// across simulator threads).
 #pragma once
 
 #include <algorithm>
@@ -234,19 +237,6 @@ class DispatchTable {
   std::vector<Entry> entries_;   ///< per-cell contiguous runs
   std::vector<CellMeta> cells_;
   std::vector<Row> rows_;
-};
-
-/// JIT source consumed by the count simulators: compiles (receiver, sender)
-/// pairs on first contact, extending `table()` and possibly interning new
-/// states (growing `table().num_states()` and `spec()`'s name registry).
-/// Implemented by `LazyCompiledSpec` (compile/lazy.hpp); simulators call
-/// `compile_pair` exactly when `find` reports an unregistered pair.
-class JitCompiler {
- public:
-  virtual ~JitCompiler() = default;
-  virtual void compile_pair(std::uint32_t receiver, std::uint32_t sender) = 0;
-  virtual const DispatchTable& table() const = 0;
-  virtual const FiniteSpec& spec() const = 0;
 };
 
 }  // namespace pops
