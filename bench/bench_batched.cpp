@@ -21,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "core/executor.hpp"
 #include "proto/epidemic.hpp"
 #include "sim/agent_simulation.hpp"
 #include "sim/batched_count_simulation.hpp"
@@ -88,10 +89,13 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kSequentialWork = 4000000ULL;
 
   std::printf("{\n  \"bench\": \"bench_batched\",\n  \"protocol\": \"epidemic\",\n");
-  // Header records the machine's thread budget so perf diffs across PRs
-  // compare like with like (scripts/bench_regen.sh commits this output).
-  std::printf("  \"hardware_concurrency\": %u,\n",
-              std::max(1u, std::thread::hardware_concurrency()));
+  // Header records the machine's thread budget — and the process-wide
+  // executor's effective width (POPS_THREADS / Executor::set_threads) — so
+  // perf diffs across PRs compare like with like (scripts/bench_regen.sh
+  // commits this output; scripts/bench_diff.py keys on it).
+  std::printf("  \"hardware_concurrency\": %u,\n  \"executor_threads\": %u,\n",
+              std::max(1u, std::thread::hardware_concurrency()),
+              pops::Executor::instance().threads());
   std::printf("  \"results\": [\n");
   for (std::uint64_t n = 10000; n <= max_n; n *= 10) {
     if (n <= kAgentSimMaxN) {

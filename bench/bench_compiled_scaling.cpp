@@ -41,6 +41,7 @@
 #include "compile/compiler.hpp"
 #include "compile/headline.hpp"
 #include "compile/lazy.hpp"
+#include "core/executor.hpp"
 #include "harness/bench_scale.hpp"
 #include "harness/equivalence.hpp"
 #include "sim/batched_count_simulation.hpp"
@@ -101,9 +102,9 @@ void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t m
             const char* obs_name) {
   begin_config(name);
 
-  // Eager compile on all cores (typed-state interner + parallel closure —
-  // bit-identical to the single-threaded sweep at any thread count).
-  const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  // Eager compile at full executor width (typed-state interner + parallel
+  // closure — bit-identical to the single-threaded sweep at any width).
+  const unsigned threads = pops::Executor::instance().threads();
   auto t0 = std::chrono::steady_clock::now();
   const auto compiled = pops::ProtocolCompiler<P>(proto, cap).compile(threads);
   const double compile_secs = seconds_since(t0);
@@ -113,7 +114,9 @@ void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t m
               compiled.paths_explored, compile_secs, threads);
 
   // Equivalence at an n both simulators handle, via the same harness the
-  // certification suite uses (harness/equivalence.hpp).
+  // certification suite uses (harness/equivalence.hpp).  "threads" is the
+  // *effective* trial fan-out (executor width capped by the trial count),
+  // not the requested one — cross-PR perf diffs compare like with like.
   {
     const std::uint64_t n = 1000, trials = eq_trials();
     const auto chi = pops::compiled_agent_equivalence(proto, compiled, n, eq_interactions,
@@ -121,9 +124,9 @@ void report(const char* name, const P& proto, std::uint32_t cap, std::uint64_t m
     std::printf("     \"equivalence\": {\"n\": %" PRIu64 ", \"interactions\": %" PRIu64
                 ", \"trials\": %" PRIu64
                 ", \"observable\": \"%s\", \"chi2\": %.3f, \"df\": %" PRIu64
-                ", \"accept\": %s},\n",
+                ", \"accept\": %s, \"threads\": %u},\n",
                 n, eq_interactions, trials, obs_name, chi.statistic, chi.df,
-                chi.accept() ? "true" : "false");
+                chi.accept() ? "true" : "false", pops::effective_trial_threads(trials));
   }
 
   pops::BatchedCountSimulation sim(compiled.spec, 0);
@@ -183,7 +186,7 @@ void report_lazy(const char* name, const P& proto, std::uint32_t cap, std::uint6
     // value for value, which is asserted here, and the ratio is the
     // measured trial-fan-out speedup on this machine.
     const std::uint64_t n = 1000, trials = eq_trials();
-    const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned threads = pops::Executor::instance().threads();
     const auto agent_hist = pops::agent_observable_histogram(proto, n, eq_interactions,
                                                              trials, eq_seed, observable);
     (void)pops::lazy_trial_values(lazy, n, eq_interactions, trials, eq_seed, observable,
@@ -209,7 +212,8 @@ void report_lazy(const char* name, const P& proto, std::uint32_t cap, std::uint6
                 ", \"accept\": %s, \"threads\": %u, \"batched_seconds_serial\": %.4f, "
                 "\"batched_seconds_parallel\": %.4f, \"parallel_speedup\": %.2f},\n",
                 n, eq_interactions, trials, obs_name, chi.statistic, chi.df,
-                chi.accept() ? "true" : "false", threads, serial_secs, parallel_secs,
+                chi.accept() ? "true" : "false",
+                pops::effective_trial_threads(trials, threads), serial_secs, parallel_secs,
                 parallel_secs > 0.0 ? serial_secs / parallel_secs : 1.0);
   }
 
@@ -247,8 +251,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("{\n  \"bench\": \"bench_compiled_scaling\",\n"
-              "  \"hardware_concurrency\": %u,\n  \"configs\": [\n",
-              std::max(1u, std::thread::hardware_concurrency()));
+              "  \"hardware_concurrency\": %u,\n  \"executor_threads\": %u,\n"
+              "  \"configs\": [\n",
+              std::max(1u, std::thread::hardware_concurrency()),
+              pops::Executor::instance().threads());
 
   {
     const auto proto = pops::log_size_tiny();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "compile/lazy.hpp"
+#include "core/executor.hpp"
 #include "core/log_size_estimation.hpp"
 #include "harness/bench_scale.hpp"
 #include "harness/table.hpp"
@@ -177,6 +178,11 @@ int main(int argc, char** argv) {
     run_sequential(trials, sizes);
   } else {
     const std::uint64_t trials = pops::by_scale<std::uint64_t>(1, 2, 4);
+    // Effective, not requested: small trial counts cap the fan-out below
+    // the executor width, and that is the number perf comparisons need.
+    std::cout << "threads: " << pops::effective_trial_threads(trials)
+              << " effective trial fan-out (executor width "
+              << pops::Executor::instance().threads() << ")\n";
     const std::vector<std::uint64_t> sizes =
         pops::bench_scale() == 0 ? std::vector<std::uint64_t>{100000}
         : pops::bench_scale() == 1

@@ -96,10 +96,12 @@ int main() {
     // 6. Parallel trials on the shared warm table.  compile_pair is sharded
     //    behind per-receiver mutexes and dispatch lookups are lock-free, so
     //    any number of simulators may step one LazyCompiledSpec from
-    //    different threads — run_trials_parallel gives each trial its own
-    //    simulator + deterministic seed, and the per-seed results are
-    //    bit-identical whatever the thread count (state *ids* depend on
-    //    interning order, but trajectories and typed observables don't).
+    //    different threads — run_trials_parallel fans the trials out over
+    //    the process-wide executor (pops::Executor; pin the width with
+    //    Executor::set_threads or POPS_THREADS for reproducible timings),
+    //    giving each trial its own simulator + deterministic seed; the
+    //    per-seed results are bit-identical whatever the width (state *ids*
+    //    depend on interning order, but trajectories and observables don't).
     const std::uint64_t trials = 8, trial_n = 100000;
     const auto t0 = std::chrono::steady_clock::now();
     const auto workers_per_trial = pops::run_trials_parallel(
@@ -115,8 +117,9 @@ int main() {
     const double trial_secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     std::cout << "parallel trials (" << trials << " trials, "
-              << std::max(1u, std::thread::hardware_concurrency())
-              << " threads, one shared JIT table): " << trial_secs << " s; workers =";
+              << pops::effective_trial_threads(trials)
+              << " effective threads, one shared JIT table): " << trial_secs
+              << " s; workers =";
     for (const auto w : workers_per_trial) std::cout << ' ' << w;
     std::cout << " (~n/2 each by Lemma 3.2)\n";
   }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed BENCH_*.json baselines.
+
+Compares freshly regenerated bench output (typically
+`scripts/bench_regen.sh --quick`, which writes into
+<build>/bench_quick/) against the baselines committed at the repo root,
+and fails when interactions/sec regressed by more than the threshold at
+any matching key:
+
+  * BENCH_batched.json  — key (simulator, n, threads)
+  * BENCH_compiled.json — key (config, n, threads)
+
+`threads` is the executor width recorded in each file's header
+("executor_threads", falling back to "hardware_concurrency" for
+pre-executor baselines), so runs with different thread budgets are never
+compared against each other — pin the width with POPS_THREADS=1 (as the
+tier-2 CI job does) to compare against single-threaded baselines.  Keys
+present on only one side are skipped and reported; improvements always
+pass.  Exit codes: 0 ok / nothing comparable, 1 regression, 2 usage or
+missing file.
+
+Usage:
+  scripts/bench_diff.py [--baseline-dir DIR] [--new-dir DIR]
+                        [--threshold 0.25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+FILES = ("BENCH_batched.json", "BENCH_compiled.json")
+
+
+def header_threads(doc):
+    return doc.get("executor_threads", doc.get("hardware_concurrency", 1))
+
+
+def extract(doc):
+    """Flatten one BENCH document into {key: interactions_per_sec}."""
+    threads = header_threads(doc)
+    points = {}
+    if doc.get("bench") == "bench_batched":
+        for rec in doc.get("results", []):
+            key = (rec["simulator"], rec["n"], threads)
+            points[key] = rec["interactions_per_sec"]
+    elif doc.get("bench") == "bench_compiled_scaling":
+        for config in doc.get("configs", []):
+            for rec in config.get("scaling", []):
+                key = (config["config"], rec["n"], threads)
+                points[key] = rec["interactions_per_sec"]
+    return points
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as e:
+        print(f"bench_diff: {path}: malformed JSON ({e})", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the committed BENCH_*.json (default: .)")
+    parser.add_argument("--new-dir", default="build/bench_quick",
+                        help="directory holding the regenerated BENCH_*.json "
+                             "(default: build/bench_quick)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that fails the gate (default: 0.25)")
+    args = parser.parse_args()
+
+    compared = 0
+    skipped = 0
+    regressions = []
+    for name in FILES:
+        base_doc = load(os.path.join(args.baseline_dir, name))
+        new_doc = load(os.path.join(args.new_dir, name))
+        if base_doc is None:
+            print(f"bench_diff: no baseline {name} in {args.baseline_dir}; skipping")
+            continue
+        if new_doc is None:
+            print(f"bench_diff: no regenerated {name} in {args.new_dir}; skipping "
+                  f"(run scripts/bench_regen.sh --quick first)")
+            continue
+        base = extract(base_doc)
+        new = extract(new_doc)
+        for key in sorted(set(base) | set(new), key=str):
+            if key not in base or key not in new:
+                skipped += 1
+                continue
+            compared += 1
+            old_ips, new_ips = base[key], new[key]
+            delta = (new_ips - old_ips) / old_ips if old_ips > 0 else 0.0
+            label = f"{name}: {key[0]} n={key[1]} threads={key[2]}"
+            status = "ok"
+            if delta < -args.threshold:
+                status = "REGRESSION"
+                regressions.append(label)
+            print(f"  {status:>10}  {label}: {old_ips:.3e} -> {new_ips:.3e} "
+                  f"({delta:+.1%})")
+
+    print(f"bench_diff: {compared} keys compared, {skipped} present on one side only, "
+          f"{len(regressions)} regression(s) beyond {args.threshold:.0%}")
+    if compared == 0:
+        # Different machine/threads than the baselines: nothing to gate on.
+        print("bench_diff: no matching (preset, n, threads) keys — gate is vacuous")
+        return 0
+    if regressions:
+        for r in regressions:
+            print(f"bench_diff: FAILED {r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,12 @@
 #
 # Every BENCH_*.json header records the machine's thread budget so perf
 # diffs across PRs compare like with like: bench_batched and
-# bench_compiled_scaling emit "hardware_concurrency" (and the compiled
-# bench's compile/equivalence records carry the "threads" they ran with);
-# bench_micro's google-benchmark context already includes num_cpus.
+# bench_compiled_scaling emit "hardware_concurrency" and the process-wide
+# executor's "executor_threads" (pin it with POPS_THREADS=N or
+# Executor::set_threads for reproducible runs; the compiled bench's
+# compile/equivalence records carry the *effective* thread counts they ran
+# with); bench_micro's google-benchmark context already includes num_cpus.
+# scripts/bench_diff.py keys its regression gate on these fields.
 #
 # Usage: scripts/bench_regen.sh [--max-n=N] [--quick]
 #   --max-n caps the batched/compiled sweeps (default 10^9 batched,

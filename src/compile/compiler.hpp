@@ -40,9 +40,10 @@
 // shared by two closure strategies:
 //   * eager — `ProtocolCompiler` BFS-closes the whole reachable pair space
 //     up front (this file), fanning each frontier round's (receiver, sender)
-//     pair chunks out over a worker pool.  Workers intern privately and a
-//     deterministic pair-order merge assigns global ids, so the result is
-//     bit-identical to the single-threaded sweep at any thread count;
+//     pair chunks out over the process-wide executor (core/executor.hpp).
+//     Workers intern privately and a deterministic two-level pair-order
+//     merge assigns global ids, so the result is bit-identical to the
+//     single-threaded sweep at any thread count;
 //   * lazy  — `LazyCompiledSpec` (compile/lazy.hpp) interns states on first
 //     contact *during simulation* and compiles only the (receiver, sender)
 //     pairs a run actually touches, lifting the states² barrier and
@@ -54,16 +55,17 @@
 #include <cmath>
 #include <cstdint>
 #include <exception>
+#include <initializer_list>
 #include <mutex>
 #include <set>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "compile/bounded.hpp"
 #include "compile/choice.hpp"
 #include "compile/intern.hpp"
+#include "core/executor.hpp"
 #include "sim/finite_spec.hpp"
 #include "sim/require.hpp"
 #include "stats/discrete.hpp"
@@ -146,7 +148,16 @@ class CompilerCore {
       : proto_(std::move(protocol)),
         cap_(geometric_cap),
         opts_(opts),
-        interner_(opts.max_states) {}
+        interner_(opts.max_states) {
+    // Labels are deferred: interning registers only an id, and the spec
+    // renders the label from the interned typed state on first name()
+    // query — JIT-heavy runs that never print names never pay for them.
+    // Safe to capture `this`: CompilerCore is pinned (the interner's mutex
+    // makes it immovable).  The eager compiler materializes the registry
+    // when it moves the spec out (see ProtocolCompiler::compile).
+    spec_.set_lazy_namer(
+        [this](std::uint32_t id) { return proto_.state_label(interner_[id]); });
+  }
 
   const P& protocol() const { return proto_; }
   std::uint32_t geometric_cap() const { return cap_; }
@@ -164,17 +175,18 @@ class CompilerCore {
   }
 
   /// Intern a (saturated) state, returning its dense id.  Thread-safe; the
-  /// slow path registers the state's label with the spec under the insert
-  /// mutex, keeping name order == id order.
+  /// slow path registers a lazily-named state with the spec under the
+  /// insert mutex, keeping name order == id order — no label is built
+  /// until someone asks for it.
   std::uint32_t intern(const typename P::State& s) {
     StateKeyBuf key;
     build_state_key(proto_, s, key);
     const std::uint64_t hash = key.hash();
     const std::uint32_t id = interner_.find(key, hash);
     if (id != StateInterner<typename P::State>::kNotFound) return id;
-    return interner_.intern(s, key, hash, [this](std::uint32_t new_id,
-                                                 const typename P::State& st) {
-      const std::uint32_t spec_id = spec_.state(proto_.state_label(st));
+    return interner_.intern(s, key, hash,
+                            [this](std::uint32_t new_id, const typename P::State&) {
+      const std::uint32_t spec_id = spec_.add_unnamed_state();
       POPS_REQUIRE(spec_id == new_id, "spec/compiler id order diverged");
     });
   }
@@ -359,12 +371,15 @@ class ProtocolCompiler {
       : core_(std::move(protocol), geometric_cap, opts) {}
 
   /// Close the reachable pair space and emit the spec.  `threads` = 0 uses
-  /// hardware concurrency; the result is bit-identical (state ids, name
-  /// order, transition order, rates) at every thread count, because workers
-  /// only ever *read* the global interner and the merge phase interns their
-  /// private discoveries in the sequential sweep's pair order.
+  /// the process-wide executor's width (Executor::set_threads pins it);
+  /// the result is bit-identical (state ids, name order, transition order,
+  /// rates) at every thread count, because workers only ever *read* the
+  /// global interner and the merge phase interns their private discoveries
+  /// in the sequential sweep's pair order.  Closure rounds fan out as
+  /// executor tasks, so a compile nested inside a pool task (a trial that
+  /// compiles) shares the process budget instead of oversubscribing.
   CompileResult<P> compile(unsigned threads = 0) {
-    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    if (threads == 0) threads = Executor::instance().threads();
     CompileResult<P> out;
     core_.enumerate_initial(out.initial_distribution);
     // Reachable-pair closure, in frontier rounds.  Round k extends the sweep
@@ -398,6 +413,12 @@ class ProtocolCompiler {
     out.paths_explored = core_.paths_explored();
     out.states = core_.snapshot_states();
     out.spec = std::move(core_.mutable_spec());
+    // The core's namer renders through the interner, which dies with this
+    // compiler — materialize the registry now (one id-ordered pass, still
+    // off the per-path hot loop) so the CompileResult is self-contained
+    // and its name accessors are pure concurrent-safe reads.  Only the
+    // JIT path (LazyCompiledSpec) keeps labels deferred; it owns its core.
+    out.spec.materialize_names();
     out.spec.validate();
     return out;
   }
@@ -407,6 +428,7 @@ class ProtocolCompiler {
 
   static constexpr std::uint64_t kParallelRoundCutoff = 2048;  ///< pairs
   static constexpr std::uint64_t kPairChunk = 64;              ///< work unit
+  static constexpr std::uint64_t kMergeChunkPairs = 16384;     ///< merge level-1/3 unit
   /// Per-batch pair cap (bounds the merge index at ~48 MB however big the
   /// closure).  Tests override it (POPS_COMPILE_BATCH_PAIRS) to force batch
   /// splits on small presets.
@@ -460,11 +482,11 @@ class ProtocolCompiler {
   }
 
   /// Workers claim pair chunks of [begin, end) from an atomic cursor (work
-  /// stealing), explore against the frozen global interner, stash unknown
-  /// output states in a private ProvisionalInterner, and append their cells
-  /// to private arenas.  The merge then walks the pairs in sequence order,
-  /// interning provisional states on first appearance — exactly where the
-  /// sequential sweep would have interned them — and emits the transitions.
+  /// stealing on top of the executor's own stealing), explore against the
+  /// frozen global interner, stash unknown output states in a private
+  /// ProvisionalInterner, and append their cells to private arenas.  A
+  /// two-level merge then fixes global ids in the sequential sweep's exact
+  /// pair order — see the merge block below.
   void close_pair_batch(std::uint64_t begin, std::uint64_t end, unsigned threads) {
 
     struct PairCell {
@@ -519,41 +541,105 @@ class ProtocolCompiler {
       }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (unsigned w = 0; w + 1 < workers; ++w) pool.emplace_back(worker_body, w);
-    worker_body(workers - 1);
-    for (auto& th : pool) th.join();
+    {
+      Executor::TaskGroup group;
+      for (unsigned w = 0; w + 1 < workers; ++w) {
+        group.run([&worker_body, w] { worker_body(w); });
+      }
+      worker_body(workers - 1);  // the calling thread is worker #workers-1
+      group.wait();
+    }
     if (error) std::rethrow_exception(error);
 
-    // Deterministic merge: pair order fixes the global intern order.
+    // Two-level deterministic merge: pair order fixes the global intern
+    // order, exactly as the sequential sweep would have.
+    //
+    //   Level 1 (parallel)  — chunk the pair sequence; each chunk records,
+    //     in (pair, entry, receiver-then-sender) scan order, the *first*
+    //     reference to every provisional (worker, local id): the
+    //     per-worker prefix dedup.
+    //   Level 2 (sequential splice) — walk the chunks in order and intern
+    //     each still-unresolved first reference.  Concatenating the
+    //     chunks' first-reference lists in chunk order reproduces the
+    //     global first-appearance order, so ids come out identical to the
+    //     old single-threaded merge — but this serial step now touches
+    //     each unique new state once instead of every transition operand.
+    //   Level 3 (parallel)  — rewrite the cells through the resolved
+    //     tables and emit every transition into its precomputed slot.
     constexpr std::uint32_t kUnresolved = 0xFFFFFFFFu;
     std::vector<std::vector<std::uint32_t>> resolved(workers);
     for (unsigned w = 0; w < workers; ++w) {
       resolved[w].assign(outs[w].local.size(), kUnresolved);
     }
-    auto resolve_global = [&](unsigned w, std::uint32_t id) -> std::uint32_t {
-      if ((id & kProvisional) == 0) return id;
-      std::uint32_t& memo = resolved[w][id & ~kProvisional];
-      if (memo == kUnresolved) memo = core_.intern(outs[w].local.state(id & ~kProvisional));
-      return memo;
+    struct FirstRef {
+      std::uint32_t worker = 0;
+      std::uint32_t local = 0;
     };
-    for (std::uint64_t p = begin; p < end; ++p) {
-      const auto [r, s] = decode_pair(p);
-      const PairCell& pc = cells[p - begin];
-      for (std::uint32_t i = 0; i < pc.len; ++i) {
-        const CellEntry& e = outs[pc.worker].entries[pc.offset + i];
-        // Two statements, not two arguments: the receiver must intern before
-        // the sender to match the sequential sweep's id order (argument
-        // evaluation order is unspecified).
-        const std::uint32_t oa = resolve_global(pc.worker, e.out_receiver);
-        const std::uint32_t ob = resolve_global(pc.worker, e.out_sender);
-        core_.mutable_spec().add(r, s, oa, ob, e.rate);
+    // Chunk count is bounded by the executor width, not the batch size:
+    // every chunk task zeroes a per-worker seen-bitmap over the
+    // provisional states, so unbounded chunks would make level 1
+    // O(chunks x provisional) — with ~4 chunks per thread the bitmap cost
+    // stays O(width x provisional) while the stealing still load-balances.
+    const std::uint64_t merge_chunk = std::max<std::uint64_t>(
+        kMergeChunkPairs,
+        (end - begin + Executor::instance().threads() * 4 - 1) /
+            (Executor::instance().threads() * 4));
+    const std::size_t nchunks =
+        static_cast<std::size_t>((end - begin + merge_chunk - 1) / merge_chunk);
+    std::vector<std::vector<FirstRef>> chunk_firsts(nchunks);
+    Executor::parallel_chunks(
+        begin, end, merge_chunk,
+        [&](std::uint64_t c, std::uint64_t lo, std::uint64_t hi) {
+          std::vector<std::vector<char>> seen(workers);
+          for (unsigned w = 0; w < workers; ++w) seen[w].assign(outs[w].local.size(), 0);
+          std::vector<FirstRef>& firsts = chunk_firsts[c];
+          for (std::uint64_t p = lo; p < hi; ++p) {
+            const PairCell& pc = cells[p - begin];
+            for (std::uint32_t i = 0; i < pc.len; ++i) {
+              const CellEntry& e = outs[pc.worker].entries[pc.offset + i];
+              for (const std::uint32_t id : {e.out_receiver, e.out_sender}) {
+                if ((id & kProvisional) == 0) continue;
+                const std::uint32_t local = id & ~kProvisional;
+                if (!seen[pc.worker][local]) {
+                  seen[pc.worker][local] = 1;
+                  firsts.push_back(FirstRef{pc.worker, local});
+                }
+              }
+            }
+          }
+        });
+    for (const auto& firsts : chunk_firsts) {
+      for (const FirstRef& fr : firsts) {
+        std::uint32_t& memo = resolved[fr.worker][fr.local];
+        if (memo == kUnresolved) memo = core_.intern(outs[fr.worker].local.state(fr.local));
       }
-      POPS_REQUIRE(core_.spec().transitions().size() <= core_.options().max_transitions,
-                   "transition explosion: raise CompileOptions.max_transitions or "
-                   "lower the field caps");
     }
+    std::vector<std::uint64_t> offsets(end - begin + 1, 0);
+    for (std::uint64_t p = begin; p < end; ++p) {
+      offsets[p - begin + 1] = offsets[p - begin] + cells[p - begin].len;
+    }
+    POPS_REQUIRE(core_.spec().transitions().size() + offsets[end - begin] <=
+                     core_.options().max_transitions,
+                 "transition explosion: raise CompileOptions.max_transitions or "
+                 "lower the field caps");
+    Transition* dst = core_.mutable_spec().append_transitions(offsets[end - begin]);
+    Executor::parallel_chunks(
+        begin, end, merge_chunk,
+        [&](std::uint64_t, std::uint64_t lo, std::uint64_t hi) {
+          const auto resolve = [&](std::uint32_t w, std::uint32_t id) {
+            return (id & kProvisional) != 0 ? resolved[w][id & ~kProvisional] : id;
+          };
+          for (std::uint64_t p = lo; p < hi; ++p) {
+            const auto [r, s] = decode_pair(p);
+            const PairCell& pc = cells[p - begin];
+            Transition* slot = dst + offsets[p - begin];
+            for (std::uint32_t i = 0; i < pc.len; ++i) {
+              const CellEntry& e = outs[pc.worker].entries[pc.offset + i];
+              slot[i] = Transition{r, s, resolve(pc.worker, e.out_receiver),
+                                   resolve(pc.worker, e.out_sender), e.rate};
+            }
+          }
+        });
   }
 
   CompilerCore<P> core_;

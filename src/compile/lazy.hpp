@@ -34,8 +34,10 @@
 // Concurrency contract (thread-safe since the sharded JIT):
 //
 //   * any number of simulators may step one shared LazyCompiledSpec from
-//     different threads (harness/trials.hpp fans equivalence/bench trials
-//     out this way).  `compile_pair` shards its critical section by
+//     different threads (run_trials_parallel fans equivalence/bench trials
+//     out this way, over the process-wide executor — core/executor.hpp,
+//     whose set_threads()/POPS_THREADS width bounds the whole fan-out).
+//     `compile_pair` shards its critical section by
 //     receiver id — per-shard mutexes cover branch exploration + cell
 //     publication, interning serializes only on insertion, and dispatch
 //     lookups stay lock-free against the atomically published row views;

@@ -5,13 +5,14 @@
 // Histograms an integer observable — the number of agents whose typed state
 // satisfies `observable` — over `trials` runs of `AgentSimulation<P>` and
 // over `trials` runs of the compiled spec on `BatchedCountSimulation`, then
-// two-sample chi-squares the histograms.  Agent trials fan out over threads
-// (deterministic per-trial seed streams).  Eager batched trials reuse one
-// simulator via reset(), since the CSR dispatch build dwarfs a small-n
-// trial; lazy batched trials fan out over threads too, sharing one JIT
-// table — the sharded `compile_pair` makes that safe, and per-seed results
-// are thread-count invariant (see compile/lazy.hpp's concurrency contract),
-// so the histograms are identical at any thread count.
+// two-sample chi-squares the histograms.  Agent trials fan out over the
+// process-wide executor (deterministic per-trial seed streams).  Eager
+// batched trials reuse one simulator via reset(), since the CSR dispatch
+// build dwarfs a small-n trial; lazy batched trials fan out on the executor
+// too, sharing one JIT table — the sharded `compile_pair` makes that safe,
+// and per-seed results are thread-count invariant (see compile/lazy.hpp's
+// concurrency contract), so the histograms are identical at any executor
+// width (Executor::set_threads changes wall-clock, never values).
 #pragma once
 
 #include <cstdint>
@@ -66,8 +67,8 @@ TwoSampleChiSquare compiled_agent_equivalence(const P& proto,
 }
 
 /// Batched-side observable values for a lazy spec, one per trial, fanned out
-/// over `threads` worker threads via run_trials_parallel (0 = hardware
-/// concurrency).  Every trial constructs its own simulator against the
+/// via run_trials_parallel on the process-wide executor (0 = executor
+/// width).  Every trial constructs its own simulator against the
 /// shared JIT table; the per-trial seeds match the historical sequential
 /// loop (sim seed master^0xBA7C4ED, seeder master^0x5EED, per trial index),
 /// so the values are bit-identical to the pre-sharding harness and to any

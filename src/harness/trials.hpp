@@ -2,21 +2,22 @@
 //
 // Every trial gets an independent, reproducible seed derived from a master
 // seed via SplitMix64; results are collected into a vector for
-// summarization.  `run_trials_parallel` fans the trials out over threads:
-// because each trial's RNG stream depends only on (master_seed, index) and
-// results land at their trial's index, the output is bit-identical to the
-// serial `run_trials` regardless of thread count or scheduling.
+// summarization.  `run_trials_parallel` fans the trials out over the
+// process-wide executor (core/executor.hpp): because each trial's RNG
+// stream depends only on (master_seed, index) and results land at their
+// trial's index, the output is bit-identical to the serial `run_trials`
+// regardless of executor width or scheduling.  Trials that themselves fan
+// out (compile inside the pool, nested sub-trials) reuse the same executor
+// instead of oversubscribing the machine.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <exception>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "sim/rng.hpp"
 
 namespace pops {
@@ -40,29 +41,40 @@ auto run_trials(std::uint64_t trials, std::uint64_t master_seed, Fn&& fn) {
   return results;
 }
 
+/// The parallelism run_trials_parallel will actually use for a `trials` /
+/// `threads` request (0 = the executor's width): capped by the executor —
+/// a request cannot oversubscribe the process-wide budget — and by the
+/// trial count.  Benches record this value in their JSON headers so
+/// cross-PR perf diffs compare like with like (the requested count used to
+/// be reported, mis-labeling small-trial runs).
+inline unsigned effective_trial_threads(std::uint64_t trials, unsigned threads = 0) {
+  const unsigned width = Executor::instance().threads();
+  const unsigned budget = threads == 0 ? width : std::min(threads, width);
+  return static_cast<unsigned>(std::min<std::uint64_t>(budget, std::max<std::uint64_t>(trials, 1)));
+}
+
 /// Run `trials` independent repetitions of `fn(seed, trial_index)` across
-/// `threads` worker threads (0 = hardware concurrency) and return the
-/// results, indexed by trial.  `fn` must be safe to call concurrently from
-/// multiple threads on distinct trial indices (simulators constructed inside
-/// the trial body are — each owns its RNG).  Deterministic: same master seed
-/// means same results, whatever the thread count.
+/// the process-wide executor and return the results, indexed by trial.
+/// `threads` caps the fan-out below the executor's width (0 = full width;
+/// requests above the width are clamped — Executor::set_threads owns the
+/// budget); `threads` = 1 is the genuinely serial reference path.  `fn`
+/// must be safe to call concurrently from multiple threads on distinct
+/// trial indices (simulators constructed inside the trial body are — each
+/// owns its RNG).  Deterministic: same master seed means same results,
+/// whatever the width.
 template <typename Fn>
 auto run_trials_parallel(std::uint64_t trials, std::uint64_t master_seed, Fn&& fn,
                          unsigned threads = 0) {
   using Result = decltype(fn(std::uint64_t{}, std::uint64_t{}));
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  if (threads == 1 || trials <= 1) return run_trials(trials, master_seed, fn);
+  const unsigned budget = effective_trial_threads(trials, threads);
+  if (budget <= 1 || trials <= 1) return run_trials(trials, master_seed, fn);
   // optional<Result> slots, not vector<Result>: Result need not be
   // default-constructible (serial run_trials doesn't require it), and
   // vector<bool> would bit-pack, turning writes to distinct trial indices
   // into racing read-modify-writes.
   std::vector<std::optional<Result>> slots(trials);
   std::atomic<std::uint64_t> next{0};
-  // Propagate a trial's exception to the caller (as the serial harness does)
-  // instead of letting it escape a worker thread into std::terminate.
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  auto worker = [&] {
+  auto body = [&] {
     try {
       for (;;) {
         const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -70,19 +82,13 @@ auto run_trials_parallel(std::uint64_t trials, std::uint64_t master_seed, Fn&& f
         slots[i] = fn(trial_seed(master_seed, i), i);
       }
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!error) error = std::current_exception();
       next.store(trials, std::memory_order_relaxed);  // drain remaining work
+      throw;  // TaskGroup::wait rethrows the first trial's failure
     }
   };
-  std::vector<std::thread> pool;
-  const unsigned spawned = static_cast<unsigned>(
-      std::min<std::uint64_t>(threads, trials));
-  pool.reserve(spawned);
-  for (unsigned t = 0; t + 1 < spawned; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread is worker #spawned
-  for (auto& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
+  Executor::TaskGroup group;
+  for (unsigned t = 0; t < budget; ++t) group.run(body);
+  group.wait();  // the calling thread help-runs the submitted bodies
   std::vector<Result> results;
   results.reserve(trials);
   for (auto& slot : slots) results.push_back(std::move(*slot));

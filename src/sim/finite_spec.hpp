@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/require.hpp"
@@ -29,22 +31,78 @@ struct Transition {
 
 class FiniteSpec {
  public:
+  /// Builds the label of a lazily-named state on first `name()` query (see
+  /// `add_unnamed_state`).  Must return the same label for the same id for
+  /// the spec's lifetime (the compiler's namers render the interned typed
+  /// state, which never changes).
+  using LazyNamer = std::function<std::string(std::uint32_t)>;
+
   /// Register (or look up) a state by name; returns its dense id.
   std::uint32_t state(const std::string& name) {
+    ensure_names_built();  // a lazy name may equal `name`; dedup needs them all
+    sync_ids();
     auto [it, inserted] = ids_.try_emplace(name, static_cast<std::uint32_t>(names_.size()));
-    if (inserted) names_.push_back(name);
+    if (inserted) {
+      names_.push_back(name);
+      ++ids_synced_;
+    }
     return it->second;
   }
 
-  bool has_state(const std::string& name) const { return ids_.count(name) != 0; }
+  /// Register a state whose label is deferred: nothing is built until the
+  /// first `name()` (or name-keyed lookup) — the compiler's fast path, so
+  /// JIT-heavy runs that never print names never pay the label snprintf.
+  /// The namer (`set_lazy_namer`) supplies the string on demand and must
+  /// return a non-empty label (the empty string marks "not built yet").
+  std::uint32_t add_unnamed_state() {
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back();
+    ++unbuilt_count_;
+    return id;
+  }
+
+  /// Install (or replace) the label builder for lazily-named states.  The
+  /// namer must outlive every deferred name query — `LazyCompiledSpec`
+  /// keeps its compiler core alive for exactly this reason; the eager
+  /// compiler instead calls `materialize_names()` before the spec escapes.
+  void set_lazy_namer(LazyNamer namer) { namer_ = std::move(namer); }
+
+  /// Materialize every deferred label and the name index, then drop the
+  /// namer: afterwards the registry holds no reference to its producer and
+  /// every const accessor is a pure read again — concurrent name lookups
+  /// on the spec are safe, as they were before lazy registration existed.
+  /// The eager compiler calls this once at emission, so labels are still
+  /// built off the per-path hot loop (one id-ordered pass per compile).
+  void materialize_names() {
+    ensure_names_built();
+    sync_ids();
+    namer_ = nullptr;
+  }
+
+  bool has_state(const std::string& name) const {
+    ensure_names_built();
+    sync_ids();
+    return ids_.count(name) != 0;
+  }
 
   std::uint32_t id(const std::string& name) const {
+    ensure_names_built();
+    sync_ids();
     auto it = ids_.find(name);
     POPS_REQUIRE(it != ids_.end(), "unknown state: " + name);
     return it->second;
   }
 
-  const std::string& name(std::uint32_t id) const { return names_.at(id); }
+  /// Name queries on lazily-registered states build (and cache) the label
+  /// on first call.  While deferred labels exist (a live JIT spec), name
+  /// reads require quiescence — no concurrent compilation or lookups
+  /// (compile/lazy.hpp's contract); after `materialize_names()` (every
+  /// eager CompileResult) all name accessors are pure concurrent-safe reads.
+  const std::string& name(std::uint32_t id) const {
+    if (unbuilt_count_ > 0 && names_.at(id).empty()) build_name(id);
+    return names_.at(id);
+  }
+
   std::uint32_t num_states() const { return static_cast<std::uint32_t>(names_.size()); }
 
   /// Add transition a,b →rate c,d.  The total rate of transitions sharing the
@@ -65,6 +123,17 @@ class FiniteSpec {
     transitions_.push_back(Transition{a, b, c, d, rate});
   }
 
+  /// Bulk emission for the compiler's parallel merge: append `count`
+  /// value-initialized transitions and return the slice, which the caller
+  /// fills concurrently (distinct slots per writer) with already-interned
+  /// ids and rates in (0, 1].  add()'s per-call checks are skipped here;
+  /// validate() re-checks every slot's ids and rate plus the per-pair
+  /// rate discipline, and the compiler validates before a spec escapes.
+  Transition* append_transitions(std::size_t count) {
+    transitions_.resize(transitions_.size() + count);
+    return transitions_.data() + (transitions_.size() - count);
+  }
+
   /// Symmetric convenience: adds both a,b → c,d and b,a → d,c.
   void add_symmetric(const std::string& a, const std::string& b, const std::string& c,
                      const std::string& d, double rate = 1.0) {
@@ -83,13 +152,20 @@ class FiniteSpec {
     return total;
   }
 
-  /// Check the rate discipline for every input pair that has transitions.
-  /// Hash-keyed so compiled specs with millions of transitions validate in
-  /// linear time.
+  /// Check every transition (ids in range, rate in (0, 1] — the bulk
+  /// `append_transitions` path skips add()'s per-call checks, so this is
+  /// where malformed compiler output fails fast) and the rate discipline
+  /// for every input pair.  Hash-keyed so compiled specs with millions of
+  /// transitions validate in linear time.
   void validate() const {
+    const auto n = num_states();
     std::unordered_map<std::uint64_t, double> totals;
     totals.reserve(transitions_.size());
     for (const auto& t : transitions_) {
+      POPS_REQUIRE(t.in_receiver < n && t.in_sender < n && t.out_receiver < n &&
+                       t.out_sender < n,
+                   "transition uses unknown state id");
+      POPS_REQUIRE(t.rate > 0.0 && t.rate <= 1.0, "transition rate must lie in (0, 1]");
       totals[(static_cast<std::uint64_t>(t.in_receiver) << 32) | t.in_sender] += t.rate;
     }
     for (const auto& [key, total] : totals) {
@@ -100,8 +176,39 @@ class FiniteSpec {
   }
 
  private:
-  std::map<std::string, std::uint32_t> ids_;
-  std::vector<std::string> names_;
+  void build_name(std::uint32_t id) const {
+    POPS_REQUIRE(namer_ != nullptr, "lazily-named state queried before set_lazy_namer");
+    std::string label = namer_(id);
+    POPS_REQUIRE(!label.empty(), "lazy namer produced an empty label");
+    names_[id] = std::move(label);
+    --unbuilt_count_;
+  }
+
+  /// Materialize every deferred label (name-keyed lookups and by-name
+  /// registration need the full registry to dedup against).
+  void ensure_names_built() const {
+    if (unbuilt_count_ == 0) return;
+    for (std::uint32_t id = 0; id < names_.size() && unbuilt_count_ > 0; ++id) {
+      if (names_[id].empty()) build_name(id);
+    }
+  }
+
+  /// Extend the name -> id index over labels registered since the last
+  /// name-keyed lookup (lazily-named states bypass it on registration).
+  void sync_ids() const {
+    while (ids_synced_ < names_.size()) {
+      const auto id = static_cast<std::uint32_t>(ids_synced_);
+      const auto [it, inserted] = ids_.try_emplace(names_[id], id);
+      POPS_REQUIRE(inserted, "duplicate state label: " + names_[id]);
+      ++ids_synced_;
+    }
+  }
+
+  mutable std::map<std::string, std::uint32_t> ids_;
+  mutable std::vector<std::string> names_;
+  mutable std::size_t ids_synced_ = 0;      ///< names_[0, ids_synced_) are in ids_
+  mutable std::size_t unbuilt_count_ = 0;   ///< lazily-named states not yet built
+  LazyNamer namer_;
   std::vector<Transition> transitions_;
 };
 

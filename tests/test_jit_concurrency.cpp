@@ -34,6 +34,7 @@
 #include "compile/compiler.hpp"
 #include "compile/headline.hpp"
 #include "compile/lazy.hpp"
+#include "core/executor.hpp"
 #include "harness/equivalence.hpp"
 #include "harness/trials.hpp"
 #include "sim/batched_count_simulation.hpp"
@@ -45,20 +46,35 @@ namespace {
 using LS = LogSizeEstimation;
 using BLS = Bounded<LS>;
 
+/// Pin the process-wide executor to 8 real workers for the suite (the
+/// default width is hardware concurrency — 1 on single-core machines,
+/// which would quietly serialize every "concurrent" path below) and
+/// restore the default afterwards.
+class JitConcurrency : public ::testing::Test {
+ protected:
+  void SetUp() override { Executor::set_threads(8); }
+  void TearDown() override { Executor::set_threads(0); }
+};
+
 bool worker_observable(const LS::State& s) { return s.role == Role::A; }
 
-/// Interned states as a label set (ids vary with scheduling; labels must not).
+/// Interned states as a label set (ids vary with scheduling; labels must
+/// not).  Also asserts label injectivity: with lazy registration the JIT
+/// never runs the registry's duplicate check itself (eager compiles do,
+/// at materialize_names), so a state_label() collapsing distinct typed
+/// states must be caught here rather than dedup'd away by the std::set.
 std::set<std::string> interned_labels(const LazyCompiledSpec<BLS>& lazy) {
   std::set<std::string> labels;
   for (std::uint32_t id = 0; id < lazy.num_states(); ++id) {
     labels.insert(lazy.spec().name(id));
   }
+  EXPECT_EQ(labels.size(), lazy.num_states()) << "state labels are not injective";
   return labels;
 }
 
 // ------------------------------------------------ thread-count invariance ---
 
-TEST(JitConcurrency, LazyTrialResultsAreThreadCountInvariant) {
+TEST_F(JitConcurrency, LazyTrialResultsAreThreadCountInvariant) {
   const auto proto = log_size_tiny();
   std::vector<std::uint64_t> reference_values;
   std::set<std::string> reference_labels;
@@ -92,7 +108,7 @@ TEST(JitConcurrency, LazyTrialResultsAreThreadCountInvariant) {
 /// grid of a warm snapshot; every cell must match a single-threaded
 /// reference compile (compared through labels — warm-up is single-threaded,
 /// so the first S ids agree; outputs may be newer states whose ids differ).
-TEST(JitConcurrency, ShardContentionCompilesDisjointPairSets) {
+TEST_F(JitConcurrency, ShardContentionCompilesDisjointPairSets) {
   const auto proto = log_size_tiny();
 
   // Single-threaded warm-up interns an identical prefix in both instances.
@@ -153,7 +169,7 @@ TEST(JitConcurrency, ShardContentionCompilesDisjointPairSets) {
 
 // ------------------------------------------- concurrent mixed simulators ----
 
-TEST(JitConcurrency, MixedSimulatorsShareOneGrowingTable) {
+TEST_F(JitConcurrency, MixedSimulatorsShareOneGrowingTable) {
   const auto proto = log_size_tiny();
   LazyCompiledSpec<BLS> lazy(proto, proto.geometric_cap());
   std::vector<std::uint64_t> totals(6, 0);
@@ -193,7 +209,7 @@ TEST(JitConcurrency, MixedSimulatorsShareOneGrowingTable) {
 
 // ----------------------------------------------------- eager determinism ----
 
-TEST(JitConcurrency, ParallelEagerCompileIsBitIdentical) {
+TEST_F(JitConcurrency, ParallelEagerCompileIsBitIdentical) {
   const auto proto = log_size_tiny();
   ProtocolCompiler<BLS> sequential(proto, proto.geometric_cap());
   const auto ref = sequential.compile(1);

@@ -1,8 +1,12 @@
-// The parallel trial harness must be bit-identical to the serial one.
+// The parallel trial harness must be bit-identical to the serial one —
+// whatever the process-wide executor's width.  The fixture pins the width
+// to 8 (real worker threads even on 1-core machines, which is what gives
+// the TSan run teeth) and restores the default after.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 
+#include "core/executor.hpp"
 #include "harness/trials.hpp"
 #include "proto/epidemic.hpp"
 #include "sim/batched_count_simulation.hpp"
@@ -10,7 +14,13 @@
 namespace pops {
 namespace {
 
-TEST(Trials, ParallelMatchesSerialForAnyThreadCount) {
+class Trials : public ::testing::Test {
+ protected:
+  void SetUp() override { Executor::set_threads(8); }
+  void TearDown() override { Executor::set_threads(0); }
+};
+
+TEST_F(Trials, ParallelMatchesSerialForAnyThreadCount) {
   auto trial = [](std::uint64_t seed, std::uint64_t) -> std::uint64_t {
     BatchedCountSimulation sim(epidemic_spec(), seed);
     sim.set_count("S", 995);
@@ -25,7 +35,7 @@ TEST(Trials, ParallelMatchesSerialForAnyThreadCount) {
   }
 }
 
-TEST(Trials, ParallelBoolResultsAreRaceFree) {
+TEST_F(Trials, ParallelBoolResultsAreRaceFree) {
   // vector<bool> bit-packing must not be used for the cross-thread buffer.
   auto trial = [](std::uint64_t seed, std::uint64_t) -> bool {
     BatchedCountSimulation sim(epidemic_spec(), seed);
@@ -39,7 +49,7 @@ TEST(Trials, ParallelBoolResultsAreRaceFree) {
   EXPECT_EQ(parallel, serial);
 }
 
-TEST(Trials, ParallelHandlesEdgeSizes) {
+TEST_F(Trials, ParallelHandlesEdgeSizes) {
   auto trial = [](std::uint64_t seed, std::uint64_t index) {
     return seed ^ index;
   };
