@@ -1,14 +1,27 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over the committed BENCH_*.json baselines.
+"""Perf-regression gate over BENCH_*.json baselines.
 
 Compares freshly regenerated bench output (typically
 `scripts/bench_regen.sh --quick`, which writes into
-<build>/bench_quick/) against the baselines committed at the repo root,
-and fails when interactions/sec regressed by more than the threshold at
-any matching key:
+<build>/bench_quick/) against a baseline directory — the committed
+BENCH_*.json at the repo root, or (as the tier-2 CI job does) a baseline
+regenerated at the merge-base on the same runner, so the thresholds
+compare same-hardware runs instead of absorbing runner variance.
 
-  * BENCH_batched.json  — key (simulator, n, threads)
-  * BENCH_compiled.json — key (config, n, threads)
+Three metrics are gated at every matching key:
+
+  * interactions/sec — fails on a relative drop beyond --threshold
+      - BENCH_batched.json  — key (simulator, n, threads)
+      - BENCH_compiled.json — key (config, n, threads)
+    keys where either side's wall-clock measurement ran under
+    --min-measure-seconds are skipped as timer noise (the smallest-n
+    sweep points finish in milliseconds)
+  * compile seconds (BENCH_compiled.json "compile" records, key
+    (config, threads)) — fails on a relative *rise* beyond --threshold;
+    baselines under --min-compile-seconds are skipped as noise
+  * interned-pair counts (BENCH_compiled.json: eager "compile.pairs"
+    and lazy "lazy.pairs_compiled", key (config)) — these are
+    deterministic closure/reachability sizes, so ANY growth fails
 
 `threads` is the executor width recorded in each file's header
 ("executor_threads", falling back to "hardware_concurrency" for
@@ -21,7 +34,8 @@ missing file.
 
 Usage:
   scripts/bench_diff.py [--baseline-dir DIR] [--new-dir DIR]
-                        [--threshold 0.25]
+                        [--threshold 0.25] [--min-compile-seconds 0.05]
+                        [--min-measure-seconds 0.02]
 """
 
 import argparse
@@ -31,24 +45,42 @@ import sys
 
 FILES = ("BENCH_batched.json", "BENCH_compiled.json")
 
+# Gate policies: how `delta = (new - old) / old` is judged per metric.
+HIGHER_IS_BETTER = "higher"   # fail when delta < -threshold
+LOWER_IS_BETTER = "lower"     # fail when delta > +threshold
+NO_GROWTH = "exact"           # fail when new > old at all
+
 
 def header_threads(doc):
     return doc.get("executor_threads", doc.get("hardware_concurrency", 1))
 
 
 def extract(doc):
-    """Flatten one BENCH document into {key: interactions_per_sec}."""
+    """Flatten one BENCH document into {metric: {key: value}}."""
     threads = header_threads(doc)
-    points = {}
+    points = {"interactions_per_sec": {}, "compile_seconds": {}, "interned_pairs": {},
+              "measure_seconds": {}}
     if doc.get("bench") == "bench_batched":
         for rec in doc.get("results", []):
             key = (rec["simulator"], rec["n"], threads)
-            points[key] = rec["interactions_per_sec"]
+            points["interactions_per_sec"][key] = rec["interactions_per_sec"]
+            points["measure_seconds"][key] = rec.get("seconds", float("inf"))
     elif doc.get("bench") == "bench_compiled_scaling":
         for config in doc.get("configs", []):
             for rec in config.get("scaling", []):
                 key = (config["config"], rec["n"], threads)
-                points[key] = rec["interactions_per_sec"]
+                points["interactions_per_sec"][key] = rec["interactions_per_sec"]
+                points["measure_seconds"][key] = rec.get("seconds", float("inf"))
+            compile_rec = config.get("compile")
+            if compile_rec is not None:
+                points["compile_seconds"][(config["config"], threads)] = \
+                    compile_rec["seconds"]
+                points["interned_pairs"][(config["config"], "eager")] = \
+                    compile_rec["pairs"]
+            lazy_rec = config.get("lazy")
+            if lazy_rec is not None:
+                points["interned_pairs"][(config["config"], "lazy")] = \
+                    lazy_rec["pairs_compiled"]
     return points
 
 
@@ -66,14 +98,26 @@ def load(path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline-dir", default=".",
-                        help="directory holding the committed BENCH_*.json (default: .)")
+                        help="directory holding the baseline BENCH_*.json (default: .)")
     parser.add_argument("--new-dir", default="build/bench_quick",
                         help="directory holding the regenerated BENCH_*.json "
                              "(default: build/bench_quick)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative regression that fails the gate (default: 0.25)")
+    parser.add_argument("--min-compile-seconds", type=float, default=0.05,
+                        help="skip compile-seconds keys whose baseline is below this "
+                             "(timer noise; default: 0.05)")
+    parser.add_argument("--min-measure-seconds", type=float, default=0.02,
+                        help="skip interactions/sec keys where either side's "
+                             "wall-clock measurement is below this (timer noise; "
+                             "default: 0.02)")
     args = parser.parse_args()
 
+    gates = (
+        ("interactions_per_sec", HIGHER_IS_BETTER),
+        ("compile_seconds", LOWER_IS_BETTER),
+        ("interned_pairs", NO_GROWTH),
+    )
     compared = 0
     skipped = 0
     regressions = []
@@ -87,28 +131,45 @@ def main():
             print(f"bench_diff: no regenerated {name} in {args.new_dir}; skipping "
                   f"(run scripts/bench_regen.sh --quick first)")
             continue
-        base = extract(base_doc)
-        new = extract(new_doc)
-        for key in sorted(set(base) | set(new), key=str):
-            if key not in base or key not in new:
-                skipped += 1
-                continue
-            compared += 1
-            old_ips, new_ips = base[key], new[key]
-            delta = (new_ips - old_ips) / old_ips if old_ips > 0 else 0.0
-            label = f"{name}: {key[0]} n={key[1]} threads={key[2]}"
-            status = "ok"
-            if delta < -args.threshold:
-                status = "REGRESSION"
-                regressions.append(label)
-            print(f"  {status:>10}  {label}: {old_ips:.3e} -> {new_ips:.3e} "
-                  f"({delta:+.1%})")
+        base_all = extract(base_doc)
+        new_all = extract(new_doc)
+        for metric, policy in gates:
+            base = base_all[metric]
+            new = new_all[metric]
+            for key in sorted(set(base) | set(new), key=str):
+                if key not in base or key not in new:
+                    skipped += 1
+                    continue
+                old_val, new_val = base[key], new[key]
+                if metric == "compile_seconds" and old_val < args.min_compile_seconds:
+                    skipped += 1
+                    continue
+                if metric == "interactions_per_sec" and \
+                        min(base_all["measure_seconds"].get(key, float("inf")),
+                            new_all["measure_seconds"].get(key, float("inf"))) \
+                        < args.min_measure_seconds:
+                    skipped += 1
+                    continue
+                compared += 1
+                delta = (new_val - old_val) / old_val if old_val > 0 else 0.0
+                label = f"{name}: {metric} {' '.join(str(k) for k in key)}"
+                status = "ok"
+                if policy == HIGHER_IS_BETTER and delta < -args.threshold:
+                    status = "REGRESSION"
+                elif policy == LOWER_IS_BETTER and delta > args.threshold:
+                    status = "REGRESSION"
+                elif policy == NO_GROWTH and new_val > old_val:
+                    status = "REGRESSION"
+                if status == "REGRESSION":
+                    regressions.append(label)
+                print(f"  {status:>10}  {label}: {old_val:.6g} -> {new_val:.6g} "
+                      f"({delta:+.1%})")
 
-    print(f"bench_diff: {compared} keys compared, {skipped} present on one side only, "
-          f"{len(regressions)} regression(s) beyond {args.threshold:.0%}")
+    print(f"bench_diff: {compared} keys compared, {skipped} present on one side only "
+          f"or below the noise floor, {len(regressions)} regression(s)")
     if compared == 0:
         # Different machine/threads than the baselines: nothing to gate on.
-        print("bench_diff: no matching (preset, n, threads) keys — gate is vacuous")
+        print("bench_diff: no matching keys — gate is vacuous")
         return 0
     if regressions:
         for r in regressions:

@@ -28,6 +28,29 @@
 //      are known as a multiset), its partner uniform among touched/untouched
 //      pools with the exact conditional weights.
 //
+// Parallel epochs: each epoch's heavy stages shard across the process-wide
+// work-stealing executor (core/executor.hpp) —
+//   * the fused joint draw splits into per-state-class blocks: a short
+//     block-level hypergeometric chain (grouping classes is exact), then
+//     each block's per-class counts and receiver split resolve on an
+//     independent substream;
+//   * the serial Fisher–Yates sender shuffle becomes a MergeShuffle-style
+//     block shuffle (stats/blocked.hpp): `split_multiset` deals the sender
+//     multiset into per-group slot quotas (the exact compositions a uniform
+//     global shuffle would produce), and each group fills + shuffles +
+//     consumes its own slot range;
+//   * transition outputs accumulate into per-shard delta vectors, merged
+//     into the configuration in shard order at the end of the stage.
+// Determinism is the design center: every epoch draws from counter-based
+// RNG substreams keyed (seed, epoch, stream) — sim/rng.hpp
+// `substream_seed` — and the shard decomposition depends only on the
+// epoch's workload (batch length, occupancy, POPS_EPOCH_SHARDS), never on
+// the executor width.  A run is therefore per-seed bit-invariant at every
+// width — the same contract ProtocolCompiler honors — verified at widths
+// 1/2/8 under TSan by tests/test_parallel_epochs.cpp.  Nested inside
+// parallel trials, shard tasks ride the same executor (help-first
+// TaskGroup::wait), so trials × epochs never oversubscribe the machine.
+//
 // Every per-epoch structure is sparse in the *occupied* state classes — a
 // persistent occupied-class list (compacted once per epoch) drives the
 // hypergeometric pass, touched-class lists drive the merges, and scratch is
@@ -47,16 +70,19 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "sim/dispatch.hpp"
 #include "sim/finite_spec.hpp"
 #include "sim/require.hpp"
 #include "sim/rng.hpp"
 #include "sim/shared_dispatch.hpp"
+#include "stats/blocked.hpp"
 #include "stats/discrete.hpp"
 
 namespace pops {
@@ -65,7 +91,7 @@ class BatchedCountSimulation {
  public:
   BatchedCountSimulation(FiniteSpec spec, std::uint64_t seed,
                          DispatchTable::RowLayout layout = DispatchTable::RowLayout::kAuto)
-      : spec_storage_(std::move(spec)), spec_(&spec_storage_), rng_(seed) {
+      : spec_storage_(std::move(spec)), spec_(&spec_storage_), master_seed_(seed) {
     spec_storage_.validate();
     table_storage_ = DispatchTable(spec_storage_, layout);
     dispatch_ = &table_storage_;
@@ -77,7 +103,7 @@ class BatchedCountSimulation {
   /// Multiple simulators on different threads may share one `jit` source —
   /// its table is lock-free to read and compile_pair is sharded.
   BatchedCountSimulation(JitCompiler& jit, std::uint64_t seed)
-      : spec_(&jit.spec()), rng_(seed), jit_table_(&jit.table()), jit_(&jit) {
+      : spec_(&jit.spec()), master_seed_(seed), jit_table_(&jit.table()), jit_(&jit) {
     init_scratch(jit_table_->num_states());
   }
 
@@ -85,12 +111,35 @@ class BatchedCountSimulation {
   BatchedCountSimulation(const BatchedCountSimulation&) = delete;
   BatchedCountSimulation& operator=(const BatchedCountSimulation&) = delete;
 
+  /// Epoch shard ceiling: the most blocks/groups any per-epoch stage
+  /// decomposes into.  Shards are *logical* — the count per stage depends
+  /// only on the epoch's workload (batch length, occupancy), never on the
+  /// executor width, so the substream layout (and therefore every sampled
+  /// bit) is identical at any thread count; the executor merely decides how
+  /// many shards run concurrently.  POPS_EPOCH_SHARDS overrides the default
+  /// of 32 (clamped to [1, 63] so the per-epoch stream-index ranges stay
+  /// disjoint).  Changing it selects a different — still exact — epoch
+  /// decomposition, so runs are per-seed comparable only at equal shard
+  /// ceilings; bench headers record it ("epoch_shards") next to
+  /// executor_threads for that reason.
+  static std::uint32_t max_epoch_shards() {
+    static const std::uint32_t cached = [] {
+      if (const char* env = std::getenv("POPS_EPOCH_SHARDS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<std::uint32_t>(std::min<long>(v, 63));
+      }
+      return std::uint32_t{32};
+    }();
+    return cached;
+  }
+
   /// Reset to an empty configuration with a fresh seed, reusing the compiled
   /// dispatch table.  For multi-trial experiments on compiled specs the
   /// table build (millions of entries — or, lazily, the JIT warm-up) dwarfs
   /// a trial, so trials reseed one simulator instead of constructing one each.
   void reset(std::uint64_t seed) {
-    rng_.reseed(seed);
+    master_seed_ = seed;
+    epoch_index_ = 0;
     sync_states();
     for (const std::uint32_t i : occupied_) {
       counts_[i] = 0;
@@ -163,28 +212,103 @@ class BatchedCountSimulation {
   std::vector<std::uint64_t> counts() const { return counts_; }
 
  private:
+  // --------------------------------------------------- epoch substreams ----
+  // Per-epoch stream-index layout (SubstreamSeeder keyed (seed, epoch, i));
+  // the ranges are disjoint for any shard ceiling <= 63:
+  //   0          — root: collision search, block-level chains, dense
+  //                pairing, collision resolution
+  //   [1, 64)    — joint-draw class blocks
+  //   [64, 192)  — split_multiset recursion-tree nodes (heap order)
+  //   [256, ...) — pairing groups (fill + shuffle + transition binomials)
+  static constexpr std::uint64_t kStreamRoot = 0;
+  static constexpr std::uint64_t kStreamJointBase = 1;
+  static constexpr std::uint64_t kStreamSplitBase = 64;
+  static constexpr std::uint64_t kStreamGroupBase = 256;
+  /// Minimum pairing-slot mass per shard: below this, task overhead beats
+  /// the work, so small batches stay single-group (and width cannot matter).
+  static constexpr std::uint64_t kMinShardSlots = 8192;
+  /// Minimum occupied classes per joint-draw block, for the same reason
+  /// (one hypergeometric draw per class is the unit of work there).
+  static constexpr std::uint32_t kMinShardClasses = 256;
+
+  /// Per-shard scratch: transition-output deltas (merged into the
+  /// configuration in shard order — determinism needs no atomics), plus the
+  /// pairing cell accumulator and the joint-draw block's drawn-id list.
+  struct ShardScratch {
+    std::vector<std::uint64_t> delta;
+    std::vector<std::uint32_t> delta_ids;  ///< touch order
+    std::vector<std::uint64_t> cell_accum;
+    std::vector<std::uint32_t> cell_touched;
+    std::vector<std::uint32_t> joint_ids;
+
+    /// Shard-local touch: grows only this shard's delta vector when a JIT
+    /// compile on another shard interned states mid-epoch (the shared
+    /// scratch must not resize while shards run — sync happens at the next
+    /// serial point).
+    void touch(std::uint32_t state, std::uint64_t d) {
+      if (d == 0) return;
+      if (state >= delta.size()) [[unlikely]] delta.resize(state + 1, 0);
+      if (delta[state] == 0) delta_ids.push_back(state);
+      delta[state] += d;
+    }
+  };
+
+  /// Run fn(0) .. fn(blocks-1), over the executor when it has width (the
+  /// calling thread helps; nested under a trial task this reuses the same
+  /// pool).  Results must not depend on execution order — every shard draws
+  /// from its own substream and writes only shard-local state.
+  template <typename Fn>
+  static void for_shards(std::size_t blocks, Fn&& fn) {
+    if (blocks <= 1 || Executor::instance().threads() <= 1) {
+      for (std::size_t b = 0; b < blocks; ++b) fn(b);
+      return;
+    }
+    Executor::parallel_chunks(
+        0, blocks, 1, [&fn](std::uint64_t, std::uint64_t lo, std::uint64_t) { fn(lo); });
+  }
+
+  /// split_multiset invoker: resolve sibling subtrees concurrently (each
+  /// node owns a substream, so order cannot affect the output bits).
+  struct ParallelInvoke {
+    template <typename A, typename B>
+    void operator()(A&& a, B&& b) const {
+      if (Executor::instance().threads() <= 1) {
+        a();
+        b();
+        return;
+      }
+      Executor::TaskGroup group;
+      group.run([&a] { a(); });
+      b();
+      group.wait();
+    }
+  };
+
   // ------------------------------------------------------------ epochs ----
 
   /// Run one epoch, bounded by `budget` interactions; returns how many
-  /// interactions were executed (>= 1).
+  /// interactions were executed (>= 1).  Each epoch owns the counter-based
+  /// substream family keyed (master_seed_, epoch_index_, stream).
   std::uint64_t epoch(std::uint64_t budget) {
     const std::uint64_t n = total_;
     const std::uint64_t tmax = n / 2;  // longest possible collision-free run
+    const SubstreamSeeder seeder(master_seed_, epoch_index_++);
+    Rng root = seeder.stream(kStreamRoot);
     if (budget == 1) {  // a single interaction is always a collision-free prefix
-      run_batch(1, /*keep_split=*/false);
+      run_batch(1, /*keep_split=*/false, seeder, root);
       return 1;
     }
-    const double u = rng_.uniform_double();
+    const double u = root.uniform_double();
     if (u <= 0.0) {  // measure-zero guard: collision arbitrarily late
       const std::uint64_t t = std::min(budget, tmax);
-      run_batch(t, /*keep_split=*/false);
+      run_batch(t, /*keep_split=*/false, seeder, root);
       return t;
     }
     const double log_u = std::log(u);
     if (budget <= tmax && log_survival(budget) >= log_u) {
       // First collision falls beyond the budget: the prefix we need is
       // collision-free, and truncation is exact (see header comment).
-      run_batch(budget, /*keep_split=*/false);
+      run_batch(budget, /*keep_split=*/false, seeder, root);
       return budget;
     }
     // Binary search the smallest t with P(L > t) < u; the collision is
@@ -201,8 +325,8 @@ class BatchedCountSimulation {
     // P(L > 1) = 1, so lo >= 2 up to floating-point noise in log_survival;
     // clamp so the batch is never empty (budget >= 2 here, so batch + 1 fits).
     const std::uint64_t batch = std::max<std::uint64_t>(lo, 2) - 1;
-    run_batch(batch, /*keep_split=*/true);
-    resolve_collision(batch);
+    run_batch(batch, /*keep_split=*/true, seeder, root);
+    resolve_collision(batch, root);
     return batch + 1;
   }
 
@@ -243,21 +367,23 @@ class BatchedCountSimulation {
   /// If `keep_split` is set, the configuration is left split across
   /// `counts_` (untouched agents) and `touched_` (post-batch states of the
   /// 2t touched agents) for collision resolution; otherwise it is merged.
-  void run_batch(std::uint64_t t, bool keep_split) {
-    draw_joint(t);
+  void run_batch(std::uint64_t t, bool keep_split, const SubstreamSeeder& seeder,
+                 Rng& root) {
+    draw_joint(t, seeder, root);
     // Pair receivers with senders: a uniform bipartite matching.  Two
     // equivalent samplers with opposite cost profiles:
     //   * dense — a sequentially-sampled contingency table, one
     //     hypergeometric per (receiver class, sender class): O(occ_r · occ_s)
     //     draws.  Wins when the batch is huge relative to the occupied grid
     //     (early dynamics, n ≳ 10^11).
-    //   * shuffle — expand the sender multiset into t slots, Fisher–Yates
-    //     shuffle, and let receiver classes consume slots in order: a
-    //     uniform permutation of the sender multiset against receiver slots
-    //     is exactly a uniform matching.  O(t) with tiny constants; wins
-    //     when the occupied grid is not tiny relative to the batch — a slot
-    //     write costs ~1/8 of a rejection draw, so the dense scan only wins
-    //     when occ_r · occ_s ≪ t (few huge classes at n ≳ 10¹¹).
+    //   * shuffle — expand the sender multiset into t slots, shuffle, and
+    //     let receiver classes consume slots in order: a uniform permutation
+    //     of the sender multiset against receiver slots is exactly a uniform
+    //     matching.  O(t) with tiny constants; wins when the occupied grid
+    //     is not tiny relative to the batch — a slot write costs ~1/8 of a
+    //     rejection draw, so the dense scan only wins when occ_r · occ_s ≪ t
+    //     (few huge classes at n ≳ 10¹¹).  Sharded across the executor: see
+    //     pair_shuffle.
     // The shuffle buffer is capped so sub-√n epochs never allocate
     // unboundedly at n = 10¹²⁺; past the cap the dense scan takes over.
     std::uint64_t occ_r = 0, occ_s = 0;
@@ -266,9 +392,9 @@ class BatchedCountSimulation {
       occ_s += send_[j] != 0 ? 1 : 0;
     }
     if (occ_r * occ_s * 8 < t || t > kMaxShuffleSlots) {
-      pair_dense(t);
+      pair_dense(t, root);
     } else {
-      pair_shuffle(t);
+      pair_shuffle(t, seeder);
     }
     for (const std::uint32_t j : joint_ids_) {
       joint_[j] = 0;
@@ -290,35 +416,105 @@ class BatchedCountSimulation {
   /// full-configuration passes collapse into one, and the occupied-class
   /// list persists across epochs — only compaction of classes that emptied
   /// touches it.
-  void draw_joint(std::uint64_t t) {
+  ///
+  /// Blocked for the executor: the occupied list splits into equal-class
+  /// blocks (per-class cost is ~one hypergeometric draw, so class count is
+  /// the balance metric); a block-level chain on the root stream fixes each
+  /// block's joint and receiver totals — grouping classes in a multivariate
+  /// hypergeometric is exact — and each block then resolves its per-class
+  /// chain on its own substream, in any order, on any thread.
+  void draw_joint(std::uint64_t t, const SubstreamSeeder& seeder, Rng& root) {
     compact_occupied();
+    const auto occ = static_cast<std::uint32_t>(occupied_.size());
+    const std::uint32_t blocks = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(max_epoch_shards(), occ / kMinShardClasses));
+    joint_ids_.clear();
+    if (blocks == 1) {
+      Rng rng = seeder.stream(kStreamJointBase);
+      resolve_joint_block(0, occ, total_, 2 * t, t, rng, joint_ids_);
+      return;
+    }
+    ensure_shards(blocks);
+    block_bounds_.clear();
+    for (std::uint32_t b = 0; b <= blocks; ++b) {
+      block_bounds_.push_back(
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(occ) * b / blocks));
+    }
+    block_mass_.assign(blocks, 0);
+    block_joint_.assign(blocks, 0);
+    block_recv_.assign(blocks, 0);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      for (std::uint32_t k = block_bounds_[b]; k < block_bounds_[b + 1]; ++k) {
+        block_mass_[b] += counts_[occupied_[k]];
+      }
+    }
     std::uint64_t remaining_total = total_;
     std::uint64_t remaining = 2 * t;
-    joint_ids_.clear();
-    for (const std::uint32_t i : occupied_) {
+    for (std::uint32_t b = 0; b < blocks && remaining > 0; ++b) {
+      const std::uint64_t k = hypergeometric(root, remaining_total, block_mass_[b], remaining);
+      block_joint_[b] = k;
+      remaining -= k;
+      remaining_total -= block_mass_[b];
+    }
+    std::uint64_t pool = 2 * t;
+    std::uint64_t need = t;
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      const std::uint64_t r =
+          need == 0 ? 0 : hypergeometric(root, pool, block_joint_[b], need);
+      block_recv_[b] = r;
+      pool -= block_joint_[b];
+      need -= r;
+    }
+    for_shards(blocks, [&](std::size_t b) {
+      Rng rng = seeder.stream(kStreamJointBase + b);
+      shards_[b].joint_ids.clear();
+      resolve_joint_block(block_bounds_[b], block_bounds_[b + 1], block_mass_[b],
+                          block_joint_[b], block_recv_[b], rng, shards_[b].joint_ids);
+    });
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      joint_ids_.insert(joint_ids_.end(), shards_[b].joint_ids.begin(),
+                        shards_[b].joint_ids.end());
+      shards_[b].joint_ids.clear();
+    }
+  }
+
+  /// Resolve one class block of the fused joint draw: chain the per-class
+  /// joint counts over the block's slice of the occupied list, then chain
+  /// the per-class receiver split over the block's drawn agents.  Appends
+  /// the block's drawn class ids to `ids` (occupied-list order, so the
+  /// blockwise concatenation matches the single-block order exactly).
+  void resolve_joint_block(std::uint32_t lo, std::uint32_t hi, std::uint64_t block_mass,
+                           std::uint64_t block_joint, std::uint64_t block_recv,
+                           Rng& rng, std::vector<std::uint32_t>& ids) {
+    std::uint64_t remaining_total = block_mass;
+    std::uint64_t remaining = block_joint;
+    const std::size_t first = ids.size();
+    for (std::uint32_t k = lo; k < hi; ++k) {
       if (remaining == 0) break;
+      const std::uint32_t i = occupied_[k];
       const std::uint64_t c = counts_[i];
       if (c == 0) continue;
-      const std::uint64_t k = hypergeometric(rng_, remaining_total, c, remaining);
+      const std::uint64_t d = hypergeometric(rng, remaining_total, c, remaining);
       remaining_total -= c;
-      if (k != 0) {
-        joint_[i] = k;
-        joint_ids_.push_back(i);
-        counts_[i] = c - k;
-        remaining -= k;
+      if (d != 0) {
+        joint_[i] = d;
+        ids.push_back(i);
+        counts_[i] = c - d;
+        remaining -= d;
       }
     }
     POPS_REQUIRE(remaining == 0, "batch draw exceeded population");
-    // Split: receivers are a uniform t-subset of the 2t drawn agents.
-    std::uint64_t pool = 2 * t;
-    std::uint64_t need = t;
-    for (const std::uint32_t i : joint_ids_) {
-      const std::uint64_t k =
-          need == 0 ? 0 : hypergeometric(rng_, pool, joint_[i], need);
-      recv_[i] = k;
-      send_[i] = joint_[i] - k;
+    // Split: this block's receivers are a uniform block_recv-subset of its
+    // block_joint drawn agents.
+    std::uint64_t pool = block_joint;
+    std::uint64_t need = block_recv;
+    for (std::size_t k = first; k < ids.size(); ++k) {
+      const std::uint32_t i = ids[k];
+      const std::uint64_t r = need == 0 ? 0 : hypergeometric(rng, pool, joint_[i], need);
+      recv_[i] = r;
+      send_[i] = joint_[i] - r;
       pool -= joint_[i];
-      need -= k;
+      need -= r;
     }
   }
 
@@ -338,7 +534,10 @@ class BatchedCountSimulation {
   }
 
   /// Dense contingency-table pairing: hypergeometric share per cell.
-  void pair_dense(std::uint64_t t) {
+  /// Serial on the root stream — it runs precisely when the occupied grid
+  /// is tiny relative to the batch, where per-epoch cost is O(occ²), not
+  /// O(t), and sharding would cost more than it saves.
+  void pair_dense(std::uint64_t t, Rng& rng) {
     std::uint64_t send_total = t;
     for (const std::uint32_t i : joint_ids_) {
       std::uint64_t need = recv_[i];
@@ -348,59 +547,91 @@ class BatchedCountSimulation {
         if (need == 0) break;
         const std::uint64_t sj = send_[j];
         if (sj == 0) continue;
-        const std::uint64_t d = hypergeometric(rng_, pool, sj, need);
+        const std::uint64_t d = hypergeometric(rng, pool, sj, need);
         pool -= sj;
         if (d > 0) {
           send_[j] -= d;
           need -= d;
           send_total -= d;
-          apply_cell(i, j, d);
+          apply_cell_main(i, j, d, rng);
         }
       }
     }
   }
 
-  /// Shuffle pairing: expand senders into slots, shuffle uniformly, consume
-  /// sequentially per receiver class, accumulating per-cell counts so
-  /// randomized cells still split in bulk.
-  void pair_shuffle(std::uint64_t t) {
-    sender_slots_.clear();
-    for (const std::uint32_t j : joint_ids_) {
-      sender_slots_.insert(sender_slots_.end(), static_cast<std::size_t>(send_[j]), j);
-    }
-    for (std::uint64_t k = t - 1; k > 0; --k) {
-      std::swap(sender_slots_[k], sender_slots_[rng_.below(k + 1)]);
-    }
-    std::size_t pos = 0;
-    for (const std::uint32_t i : joint_ids_) {
-      std::uint64_t need = recv_[i];
-      if (need == 0) continue;
-      cell_touched_.clear();
-      while (need-- > 0) {
-        const std::uint32_t j = sender_slots_[pos++];
-        if (cell_accum_[j]++ == 0) cell_touched_.push_back(j);
+  /// Shuffle pairing, sharded: receiver classes group into contiguous runs
+  /// of ~equal slot mass; `split_multiset` deals the sender multiset into
+  /// per-group quotas (exactly the compositions a uniform global shuffle
+  /// gives those slot ranges); each group then fills + Fisher–Yates
+  /// shuffles its own slot range and consumes it — accumulating per-cell
+  /// counts so randomized cells still split in bulk — into its shard-local
+  /// delta, all on the group's substream.  Group deltas merge in group
+  /// order, so the epoch's output is identical whether groups ran on one
+  /// thread or eight.
+  void pair_shuffle(std::uint64_t t, const SubstreamSeeder& seeder) {
+    recv_weights_.clear();
+    for (const std::uint32_t i : joint_ids_) recv_weights_.push_back(recv_[i]);
+    group_bounds_ = plan_blocks(recv_weights_, t, max_epoch_shards(), kMinShardSlots);
+    const std::size_t groups = group_bounds_.size() - 1;
+    ensure_shards(groups);
+    sender_ms_.ids = joint_ids_;
+    sender_ms_.counts.clear();
+    for (const std::uint32_t i : joint_ids_) sender_ms_.counts.push_back(send_[i]);
+    part_sizes_.assign(groups, 0);
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::uint32_t k = group_bounds_[g]; k < group_bounds_[g + 1]; ++k) {
+        part_sizes_[g] += recv_weights_[k];
       }
-      for (const std::uint32_t j : cell_touched_) {
-        apply_cell(i, j, cell_accum_[j]);
-        cell_accum_[j] = 0;
-      }
     }
+    split_multiset(seeder, kStreamSplitBase, sender_ms_, part_sizes_, parts_,
+                   ParallelInvoke{});
+    if (sender_slots_.size() < t) sender_slots_.resize(t);
+    group_offsets_.assign(groups + 1, 0);
+    for (std::size_t g = 0; g < groups; ++g) {
+      group_offsets_[g + 1] = group_offsets_[g] + part_sizes_[g];
+    }
+    for_shards(groups, [&](std::size_t g) {
+      ShardScratch& sh = shards_[g];
+      Rng rng = seeder.stream(kStreamGroupBase + g);
+      block_shuffle_fill(rng, parts_[g], sender_slots_.data() + group_offsets_[g],
+                         part_sizes_[g]);
+      std::uint64_t pos = group_offsets_[g];
+      for (std::uint32_t k = group_bounds_[g]; k < group_bounds_[g + 1]; ++k) {
+        const std::uint32_t i = joint_ids_[k];
+        std::uint64_t need = recv_[i];
+        if (need == 0) continue;
+        sh.cell_touched.clear();
+        while (need-- > 0) {
+          const std::uint32_t j = sender_slots_[pos++];
+          if (sh.cell_accum[j]++ == 0) sh.cell_touched.push_back(j);
+        }
+        for (const std::uint32_t j : sh.cell_touched) {
+          apply_cell_shard(i, j, sh.cell_accum[j], rng, sh);
+          sh.cell_accum[j] = 0;
+        }
+      }
+    });
+    merge_shard_deltas(groups);
   }
 
   /// Apply `d` simultaneous interactions with input pair (i, j), appending
-  /// the output states to the touched multiset.  Randomized cells split `d`
-  /// across their transitions (plus the residual null) by binomial draws.
-  void apply_cell(std::uint32_t i, std::uint32_t j, std::uint64_t d) {
-    const DispatchTable::Cell cell = lookup(i, j);
+  /// the output states to `sink`.  Randomized cells split `d` across their
+  /// transitions (plus the residual null) by binomial draws from `rng`.
+  /// `kShardContext` selects the lookup that never resizes shared scratch.
+  template <bool kShardContext, typename Sink>
+  void apply_cell(std::uint32_t i, std::uint32_t j, std::uint64_t d, Rng& rng,
+                  Sink& sink) {
+    const DispatchTable::Cell cell =
+        kShardContext ? lookup_shard(i, j) : lookup(i, j);
     switch (cell.kind) {
       case DispatchTable::CellKind::kNull:
-        touch(i, d);
-        touch(j, d);
+        sink.touch(i, d);
+        sink.touch(j, d);
         return;
       case DispatchTable::CellKind::kDeterministic: {
         const auto& e = *cell.begin;
-        touch(e.out_receiver, d);
-        touch(e.out_sender, d);
+        sink.touch(e.out_receiver, d);
+        sink.touch(e.out_sender, d);
         return;
       }
       case DispatchTable::CellKind::kRandomized: {
@@ -413,17 +644,34 @@ class BatchedCountSimulation {
           const bool clamp_last = cell.clamp && e + 1 == cell.end;
           const double p =
               clamp_last ? 1.0 : std::min(1.0, std::max(0.0, e->rate / rest));
-          const std::uint64_t k = binomial(rng_, rem, p);
-          touch(e->out_receiver, k);
-          touch(e->out_sender, k);
+          const std::uint64_t k = binomial(rng, rem, p);
+          sink.touch(e->out_receiver, k);
+          sink.touch(e->out_sender, k);
           rem -= k;
           rest -= e->rate;
         }
-        touch(i, rem);  // residual mass: null transitions
-        touch(j, rem);
+        sink.touch(i, rem);  // residual mass: null transitions
+        sink.touch(j, rem);
         return;
       }
     }
+  }
+
+  /// Serial-context sink: routes into the epoch-wide touched multiset
+  /// (which may resize shared scratch via sync_states — serial only).
+  struct MainSink {
+    BatchedCountSimulation* sim;
+    void touch(std::uint32_t state, std::uint64_t d) { sim->touch(state, d); }
+  };
+
+  void apply_cell_main(std::uint32_t i, std::uint32_t j, std::uint64_t d, Rng& rng) {
+    MainSink sink{this};
+    apply_cell<false>(i, j, d, rng, sink);
+  }
+
+  void apply_cell_shard(std::uint32_t i, std::uint32_t j, std::uint64_t d, Rng& rng,
+                        ShardScratch& sh) {
+    apply_cell<true>(i, j, d, rng, sh);
   }
 
   /// Dispatch lookup with the JIT fallback (see CountSimulation::lookup).
@@ -435,6 +683,20 @@ class BatchedCountSimulation {
     if (!cell.present) [[unlikely]] {
       jit_->compile_pair(receiver, sender);
       sync_states();
+      cell = jit_table_->find(receiver, sender);
+    }
+    return cell;
+  }
+
+  /// Shard-context lookup: same JIT fallback, but never resizes the shared
+  /// scratch (other shards may be running) — new states interned by the
+  /// compile land in the shard's delta via ShardScratch::touch's local
+  /// growth, and the shared vectors sync at the next serial point.
+  DispatchTable::Cell lookup_shard(std::uint32_t receiver, std::uint32_t sender) {
+    if (jit_ == nullptr) return dispatch_->find(receiver, sender);
+    DispatchTable::Cell cell = jit_table_->find(receiver, sender);
+    if (!cell.present) [[unlikely]] {
+      jit_->compile_pair(receiver, sender);
       cell = jit_table_->find(receiver, sender);
     }
     return cell;
@@ -465,6 +727,32 @@ class BatchedCountSimulation {
     touched_ids_.clear();
   }
 
+  /// Fold every shard's delta into the epoch-wide touched multiset, in
+  /// shard order — the serial merge point that makes the parallel stage's
+  /// output order-deterministic.
+  void merge_shard_deltas(std::size_t count) {
+    for (std::size_t b = 0; b < count; ++b) {
+      ShardScratch& sh = shards_[b];
+      for (const std::uint32_t i : sh.delta_ids) {
+        const std::uint64_t v = sh.delta[i];
+        sh.delta[i] = 0;
+        touch(i, v);
+      }
+      sh.delta_ids.clear();
+    }
+  }
+
+  /// Size shard scratch for `count` shards against the current state count
+  /// (serial point; shards never resize these concurrently).
+  void ensure_shards(std::size_t count) {
+    if (shards_.size() < count) shards_.resize(count);
+    const std::uint32_t s = dispatch_num_states();
+    for (std::size_t b = 0; b < count; ++b) {
+      if (shards_[b].delta.size() < s) shards_[b].delta.resize(s, 0);
+      if (shards_[b].cell_accum.size() < s) shards_[b].cell_accum.resize(s, 0);
+    }
+  }
+
   // ------------------------------------------------------- collisions ----
 
   /// Execute the colliding interaction exactly.  After a kept-split batch of
@@ -474,24 +762,24 @@ class BatchedCountSimulation {
   /// are not untouched-untouched; with T = 2*batch touched and U untouched
   /// agents the three cases have weights T·U, U·T, T·(T−1) — T divides out,
   /// leaving U : U : T−1.
-  void resolve_collision(std::uint64_t batch) {
+  void resolve_collision(std::uint64_t batch, Rng& rng) {
     const std::uint64_t touched_total = 2 * batch;
     const std::uint64_t untouched_total = total_ - touched_total;
     std::uint64_t t_pool = touched_total;
     std::uint64_t u_pool = untouched_total;
-    const std::uint64_t x = rng_.below(2 * untouched_total + touched_total - 1);
+    const std::uint64_t x = rng.below(2 * untouched_total + touched_total - 1);
     std::uint32_t r_state, s_state;
     if (x < untouched_total) {  // receiver touched, sender untouched
-      r_state = draw_one_touched(t_pool);
-      s_state = draw_one_untouched(u_pool);
+      r_state = draw_one_touched(t_pool, rng);
+      s_state = draw_one_untouched(u_pool, rng);
     } else if (x < 2 * untouched_total) {  // receiver untouched, sender touched
-      r_state = draw_one_untouched(u_pool);
-      s_state = draw_one_touched(t_pool);
+      r_state = draw_one_untouched(u_pool, rng);
+      s_state = draw_one_touched(t_pool, rng);
     } else {  // both touched (two distinct touched agents)
-      r_state = draw_one_touched(t_pool);
-      s_state = draw_one_touched(t_pool);
+      r_state = draw_one_touched(t_pool, rng);
+      s_state = draw_one_touched(t_pool, rng);
     }
-    const auto [out_r, out_s] = resolve_transition(r_state, s_state);
+    const auto [out_r, out_s] = resolve_transition(r_state, s_state, rng);
     touch(out_r, 1);
     touch(out_s, 1);
     ++interactions_;
@@ -500,8 +788,8 @@ class BatchedCountSimulation {
 
   /// Remove and return one uniform agent from the touched multiset (walking
   /// the touched-id list, not the full state range).
-  std::uint32_t draw_one_touched(std::uint64_t& pool_total) {
-    std::uint64_t slot = rng_.below(pool_total);
+  std::uint32_t draw_one_touched(std::uint64_t& pool_total, Rng& rng) {
+    std::uint64_t slot = rng.below(pool_total);
     for (const std::uint32_t i : touched_ids_) {
       const std::uint64_t c = touched_[i];
       if (slot < c) {
@@ -517,8 +805,8 @@ class BatchedCountSimulation {
 
   /// Remove and return one uniform untouched agent (walking the occupied
   /// list; classes emptied by the batch draw weigh zero and are skipped).
-  std::uint32_t draw_one_untouched(std::uint64_t& pool_total) {
-    std::uint64_t slot = rng_.below(pool_total);
+  std::uint32_t draw_one_untouched(std::uint64_t& pool_total, Rng& rng) {
+    std::uint64_t slot = rng.below(pool_total);
     for (const std::uint32_t i : occupied_) {
       const std::uint64_t c = counts_[i];
       if (slot < c) {
@@ -535,7 +823,8 @@ class BatchedCountSimulation {
   /// Outcome of a single (receiver, sender) interaction, consuming the rate
   /// draw only for randomized cells.
   std::pair<std::uint32_t, std::uint32_t> resolve_transition(std::uint32_t r,
-                                                             std::uint32_t s) {
+                                                             std::uint32_t s,
+                                                             Rng& rng) {
     const DispatchTable::Cell cell = lookup(r, s);
     switch (cell.kind) {
       case DispatchTable::CellKind::kNull:
@@ -545,7 +834,7 @@ class BatchedCountSimulation {
         return {e.out_receiver, e.out_sender};
       }
       case DispatchTable::CellKind::kRandomized: {
-        const auto* e = DispatchTable::pick(cell, rng_.uniform_double());
+        const auto* e = DispatchTable::pick(cell, rng.uniform_double());
         if (e != nullptr) return {e->out_receiver, e->out_sender};
         return {r, s};  // residual: null transition
       }
@@ -561,12 +850,10 @@ class BatchedCountSimulation {
     recv_.assign(s, 0);
     send_.assign(s, 0);
     joint_.assign(s, 0);
-    cell_accum_.assign(s, 0);
     in_occupied_.assign(s, 0);
     occupied_.reserve(s);
     joint_ids_.reserve(s);
     touched_ids_.reserve(s);
-    cell_touched_.reserve(s);
   }
 
   std::uint32_t dispatch_num_states() const {
@@ -581,7 +868,6 @@ class BatchedCountSimulation {
     recv_.resize(s, 0);
     send_.resize(s, 0);
     joint_.resize(s, 0);
-    cell_accum_.resize(s, 0);
     in_occupied_.resize(s, 0);
   }
 
@@ -591,7 +877,8 @@ class BatchedCountSimulation {
 
   FiniteSpec spec_storage_;      ///< owned in eager mode; empty in lazy mode
   const FiniteSpec* spec_;
-  Rng rng_;
+  std::uint64_t master_seed_;    ///< every epoch substream derives from this
+  std::uint64_t epoch_index_ = 0;
   DispatchTable table_storage_;  ///< owned in eager mode; empty in lazy mode
   const DispatchTable* dispatch_ = nullptr;
   const ConcurrentDispatchTable* jit_table_ = nullptr;  ///< lazy mode only
@@ -601,10 +888,18 @@ class BatchedCountSimulation {
   std::uint64_t interactions_ = 0;
   // Per-epoch scratch, sparse in the occupied classes (hot path allocates
   // nothing and never walks the full state range).
-  std::vector<std::uint64_t> touched_, recv_, send_, joint_, cell_accum_;
+  std::vector<std::uint64_t> touched_, recv_, send_, joint_;
   std::vector<std::uint8_t> in_occupied_;
-  std::vector<std::uint32_t> occupied_, joint_ids_, touched_ids_, cell_touched_;
+  std::vector<std::uint32_t> occupied_, joint_ids_, touched_ids_;
   std::vector<std::uint32_t> sender_slots_;
+  // Parallel-epoch scratch: per-shard deltas/accumulators plus the blocked
+  // decompositions' plans (reused across epochs; sized to shards in use).
+  std::vector<ShardScratch> shards_;
+  ClassMultiset sender_ms_;
+  std::vector<ClassMultiset> parts_;
+  std::vector<std::uint64_t> part_sizes_, recv_weights_, block_mass_, block_joint_,
+      block_recv_, group_offsets_;
+  std::vector<std::uint32_t> group_bounds_, block_bounds_;
 };
 
 }  // namespace pops

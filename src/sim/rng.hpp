@@ -45,6 +45,37 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// SplitMix64's finalizer as a standalone mixing function: a bijective
+/// avalanche permutation of 64 bits (every input bit flips ~half the output
+/// bits).  The substream derivation below composes it to fold multiple key
+/// words into one well-mixed seed.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based RNG substream derivation: a pure function of
+/// (master seed, epoch, stream) — no shared generator state — so any
+/// decomposition of an epoch's random work into independently-seeded streams
+/// is reproducible regardless of which thread executes which stream, or in
+/// what order.  This is the keyed-substream contract the batched simulator's
+/// parallel epochs rely on (one stream per (seed, epoch, shard), plus a root
+/// stream per epoch) and the same idea `trial_seed` applies at trial
+/// granularity: determinism comes from keying streams by *logical* position,
+/// never by execution order.
+///
+/// Each key word passes through a full mix64 avalanche round before the next
+/// is folded in (Weyl increments keep distinct (epoch, stream) pairs distinct
+/// even across word boundaries), so related keys — consecutive epochs,
+/// adjacent shards — yield statistically unrelated xoshiro seed expansions.
+inline std::uint64_t substream_seed(std::uint64_t master, std::uint64_t epoch,
+                                    std::uint64_t stream) {
+  std::uint64_t z = mix64(master + 0x9e3779b97f4a7c15ULL);
+  z = mix64(z ^ (epoch + 0xbf58476d1ce4e5b9ULL));
+  return mix64(z ^ (stream + 0x94d049bb133111ebULL));
+}
+
 /// xoshiro256**: the simulation workhorse.  Period 2^256 - 1, passes BigCrush.
 class Rng {
  public:

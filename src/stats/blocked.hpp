@@ -1,0 +1,278 @@
+// Blocked (shardable) exact samplers for executor-parallel batched epochs.
+//
+// The batched simulator's epoch is a chain of multivariate draws — the joint
+// hypergeometric batch draw, the receiver/sender split, and the sender-slot
+// shuffle that realizes the uniform bipartite matching.  Each chain is
+// sequential as written (every draw conditions on the ones before it), which
+// is why a lone giant-n run used to execute its Θ(√n)-interaction epochs on
+// one thread.  This header factors those chains into *block* decompositions
+// that are distribution-identical to the unblocked draws but expose
+// independent per-block work:
+//
+//   * blocked multivariate hypergeometric — group the classes into
+//     contiguous blocks, draw the per-block totals by a (short) sequential
+//     hypergeometric chain over block masses, then resolve each block's
+//     per-class counts independently.  Exact by the conditional method: a
+//     multivariate hypergeometric is closed under grouping, and conditioned
+//     on its block total each block is again multivariate hypergeometric.
+//
+//   * blocked multiset split (`split_multiset`) — deal a class multiset into
+//     parts of prescribed sizes, distribution-identical to uniformly
+//     shuffling the multiset and cutting it into consecutive ranges of those
+//     sizes.  Implemented as a binary recursion of multivariate
+//     hypergeometric splits (each node splits its multiset between the left
+//     and right half of its parts); sibling subtrees consume *different
+//     counter-based substreams* (sim/rng.hpp `substream_seed`), so subtrees
+//     can run on different threads in any order and still produce the exact
+//     sequence a serial traversal produces.
+//
+//   * block shuffle (`block_shuffle_fill`) — the MergeShuffle-style parallel
+//     replacement for the serial Fisher–Yates sender shuffle, run in the
+//     *split* direction: the slot range is cut into blocks, `split_multiset`
+//     decides each block's composition (exactly the composition a uniform
+//     global shuffle would put there), and each block is Fisher–Yates
+//     shuffled locally with its own substream.  Uniform within each block ×
+//     exact block compositions = a uniform permutation of the whole multiset,
+//     with every per-block fill+shuffle independent of the others.
+//
+// Determinism contract (shared with the batched simulator and the compiler):
+// every random decision is keyed by *logical* position — (seed, epoch,
+// stream index), block index, tree node index — never by thread identity or
+// execution order, so results are per-seed bit-invariant at every executor
+// width.  The chi-square GOF suite (tests/test_blocked_stats.cpp) certifies
+// that the blocked draws' marginals match the unblocked joint draws.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/require.hpp"
+#include "sim/rng.hpp"
+#include "stats/discrete.hpp"
+
+namespace pops {
+
+/// Hands out the independent substreams of one epoch: stream(i) is the
+/// counter-based stream keyed (master, epoch, i).  Copyable and stateless —
+/// any thread may materialize any stream at any time.
+class SubstreamSeeder {
+ public:
+  SubstreamSeeder(std::uint64_t master, std::uint64_t epoch)
+      : master_(master), epoch_(epoch) {}
+
+  Rng stream(std::uint64_t index) const {
+    return Rng(substream_seed(master_, epoch_, index));
+  }
+
+ private:
+  std::uint64_t master_;
+  std::uint64_t epoch_;
+};
+
+/// A sparse class multiset: parallel id/count arrays (ids need not be dense
+/// or sorted; counts are per-id).  The blocked primitives read and write
+/// this shape because the batched simulator's per-epoch structures are
+/// sparse in the occupied classes.
+struct ClassMultiset {
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint64_t> counts;  ///< counts[k] pairs with ids[k]
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto c : counts) t += c;
+    return t;
+  }
+  void clear() {
+    ids.clear();
+    counts.clear();
+  }
+};
+
+/// Runs the two halves of a split_multiset recursion node one after the
+/// other — the serial reference invoker.  The executor-backed invoker in the
+/// batched simulator runs them concurrently; because every node draws from
+/// its own substream, both invokers produce bit-identical output.
+struct SequentialInvoke {
+  template <typename A, typename B>
+  void operator()(A&& a, B&& b) const {
+    a();
+    b();
+  }
+};
+
+namespace detail {
+
+/// Split one recursion node's multiset among `part_sizes[plo, phi)`, writing
+/// per-part class counts into `out[p]` (ids mirror the parent's ids).  One
+/// tree node = one substream: node ids follow heap order from `node`, so
+/// sibling subtrees never share a stream and may run concurrently (the
+/// invoker decides; correctness does not depend on it).
+template <typename Invoke>
+void split_multiset_node(const SubstreamSeeder& seeder, std::uint64_t stream_base,
+                         std::uint64_t node, const std::vector<std::uint32_t>& ids,
+                         std::vector<std::uint64_t> node_counts,
+                         std::uint64_t node_total,
+                         const std::vector<std::uint64_t>& part_sizes,
+                         std::size_t plo, std::size_t phi,
+                         std::vector<ClassMultiset>& out, const Invoke& invoke) {
+  if (phi - plo == 1) {
+    out[plo].ids = ids;
+    out[plo].counts = std::move(node_counts);
+    return;
+  }
+  const std::size_t pmid = plo + (phi - plo) / 2;
+  std::uint64_t left_total = 0;
+  for (std::size_t p = plo; p < pmid; ++p) left_total += part_sizes[p];
+  // One multivariate hypergeometric chain: which of this node's items land
+  // in the left half of its parts.
+  Rng rng = seeder.stream(stream_base + node);
+  std::vector<std::uint64_t> left(node_counts.size(), 0);
+  std::uint64_t remaining_total = node_total;
+  std::uint64_t need = left_total;
+  for (std::size_t k = 0; k < node_counts.size(); ++k) {
+    const std::uint64_t c = node_counts[k];
+    if (c == 0) continue;
+    const std::uint64_t d = need == 0 ? 0 : hypergeometric(rng, remaining_total, c, need);
+    left[k] = d;
+    node_counts[k] = c - d;
+    need -= d;
+    remaining_total -= c;
+  }
+  POPS_REQUIRE(need == 0, "split_multiset: part sizes exceed multiset total");
+  invoke(
+      [&] {
+        split_multiset_node(seeder, stream_base, 2 * node, ids, std::move(left),
+                            left_total, part_sizes, plo, pmid, out, invoke);
+      },
+      [&] {
+        split_multiset_node(seeder, stream_base, 2 * node + 1, ids,
+                            std::move(node_counts), node_total - left_total,
+                            part_sizes, pmid, phi, out, invoke);
+      });
+}
+
+}  // namespace detail
+
+/// Deal `multiset` into `part_sizes.size()` parts where part p receives
+/// exactly part_sizes[p] items — distribution-identical to uniformly
+/// shuffling the multiset's items and cutting the sequence into consecutive
+/// ranges of the given sizes (only the per-part *compositions* are produced;
+/// compose with a per-part shuffle for the full permutation).  Σ part_sizes
+/// must equal the multiset total.  Streams [stream_base, stream_base +
+/// 2·parts) are consumed, keyed by recursion-tree node — bit-reproducible
+/// regardless of traversal order or thread placement.
+template <typename Invoke = SequentialInvoke>
+inline void split_multiset(const SubstreamSeeder& seeder, std::uint64_t stream_base,
+                           const ClassMultiset& multiset,
+                           const std::vector<std::uint64_t>& part_sizes,
+                           std::vector<ClassMultiset>& out,
+                           const Invoke& invoke = Invoke{}) {
+  POPS_REQUIRE(!part_sizes.empty(), "split_multiset: need at least one part");
+  out.assign(part_sizes.size(), {});
+  detail::split_multiset_node(seeder, stream_base, /*node=*/1, multiset.ids,
+                              multiset.counts, multiset.total(), part_sizes,
+                              0, part_sizes.size(), out, invoke);
+}
+
+/// Contiguous ~equal-mass partition of `weights` into at most `max_blocks`
+/// blocks of at least `min_mass` each (the last block absorbs the
+/// remainder).  Returns block boundaries b_0 = 0 < b_1 < ... < b_k = size.
+/// Deterministic in the weights alone — never in the executor width — which
+/// is what keeps blocked draws width-invariant.
+inline std::vector<std::uint32_t> plan_blocks(const std::vector<std::uint64_t>& weights,
+                                              std::uint64_t total,
+                                              std::uint32_t max_blocks,
+                                              std::uint64_t min_mass) {
+  std::vector<std::uint32_t> bounds{0};
+  const auto size = static_cast<std::uint32_t>(weights.size());
+  if (size == 0) {
+    bounds.push_back(0);
+    return bounds;
+  }
+  const std::uint64_t blocks_by_mass = min_mass == 0 ? max_blocks : total / min_mass;
+  const std::uint32_t blocks = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>({max_blocks, blocks_by_mass, size})));
+  const std::uint64_t target = (total + blocks - 1) / std::max<std::uint64_t>(blocks, 1);
+  std::uint64_t acc = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    acc += weights[i];
+    if (acc >= target && bounds.size() < blocks && i + 1 < size) {
+      bounds.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  bounds.push_back(size);
+  return bounds;
+}
+
+/// Blocked multivariate hypergeometric: partition `draws` items sampled
+/// without replacement across the classes of `counts` — the same
+/// distribution as `multivariate_hypergeometric` (stats/discrete.hpp), but
+/// decomposed into a block-level chain (root stream `stream_base`) plus one
+/// independent per-block chain (stream `stream_base + 1 + b`), so the
+/// per-block resolutions can run on different threads.  `run_blocks`
+/// receives (num_blocks, fn) and must invoke fn(b) exactly once for every
+/// block in any order (e.g. via Executor::parallel_chunks, or a plain loop).
+template <typename RunBlocks>
+inline void blocked_multivariate_hypergeometric(
+    const SubstreamSeeder& seeder, std::uint64_t stream_base,
+    const std::vector<std::uint64_t>& counts, std::uint64_t draws,
+    std::vector<std::uint64_t>& out, std::uint32_t max_blocks,
+    std::uint64_t min_mass, RunBlocks&& run_blocks) {
+  out.assign(counts.size(), 0);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  POPS_REQUIRE(draws <= total, "blocked multivariate hypergeometric: draws > total");
+  const auto bounds = plan_blocks(counts, total, max_blocks, min_mass);
+  const std::size_t blocks = bounds.size() - 1;
+  // Block-level chain: how many of the `draws` land in each class block.
+  std::vector<std::uint64_t> block_mass(blocks, 0), block_draws(blocks, 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::uint32_t i = bounds[b]; i < bounds[b + 1]; ++i) block_mass[b] += counts[i];
+  }
+  Rng root = seeder.stream(stream_base);
+  std::uint64_t remaining_total = total, remaining = draws;
+  for (std::size_t b = 0; b < blocks && remaining > 0; ++b) {
+    if (block_mass[b] == 0) continue;
+    const std::uint64_t k = hypergeometric(root, remaining_total, block_mass[b], remaining);
+    block_draws[b] = k;
+    remaining -= k;
+    remaining_total -= block_mass[b];
+  }
+  // Per-block chains: independent streams, any order, any thread.
+  run_blocks(blocks, [&](std::size_t b) {
+    std::uint64_t block_remaining = block_draws[b];
+    if (block_remaining == 0) return;
+    Rng rng = seeder.stream(stream_base + 1 + b);
+    std::uint64_t block_total = block_mass[b];
+    for (std::uint32_t i = bounds[b]; i < bounds[b + 1] && block_remaining > 0; ++i) {
+      if (counts[i] == 0) continue;
+      const std::uint64_t k = hypergeometric(rng, block_total, counts[i], block_remaining);
+      out[i] = k;
+      block_remaining -= k;
+      block_total -= counts[i];
+    }
+  });
+}
+
+/// Fill `slots[0, len)` with a uniform shuffle of `part` (a class multiset
+/// with total == len) from one substream: sequential expansion then an
+/// in-range Fisher–Yates.  The caller decides the block decomposition (via
+/// `split_multiset`) and runs one call per block — exact block compositions
+/// × uniform within-block permutations = a uniform permutation of the whole
+/// multiset, i.e. the MergeShuffle-style parallel block shuffle.
+inline void block_shuffle_fill(Rng& rng, const ClassMultiset& part,
+                               std::uint32_t* slots, std::uint64_t len) {
+  std::uint64_t w = 0;
+  for (std::size_t k = 0; k < part.ids.size(); ++k) {
+    for (std::uint64_t c = part.counts[k]; c > 0; --c) slots[w++] = part.ids[k];
+  }
+  POPS_REQUIRE(w == len, "block_shuffle_fill: part total != slot range");
+  if (len < 2) return;
+  for (std::uint64_t k = len - 1; k > 0; --k) {
+    std::swap(slots[k], slots[rng.below(k + 1)]);
+  }
+}
+
+}  // namespace pops
